@@ -1,0 +1,107 @@
+// Experiment `abl_attacker` (DESIGN.md section 4): attacker-strength
+// ablation. The paper evaluates only the classic (1,0,1)-attacker; the
+// generic (R,H,M,s0,D) model of Figure 1 admits stronger ones. This bench
+// sweeps R, H, M and the decision function on the 11x11 grid and reports
+// capture ratios for both protocols — quantifying how much privacy the
+// decoy still buys against attackers that buffer more messages, move more
+// often, or refuse to revisit recent locations.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "slpdas/core/experiment.hpp"
+#include "slpdas/metrics/table.hpp"
+
+namespace {
+
+struct Variant {
+  const char* label;
+  slpdas::core::AttackerSpec spec;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using slpdas::core::AttackerSpec;
+  using slpdas::core::ProtocolKind;
+  using slpdas::metrics::Table;
+
+  int runs = 150;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--runs" && i + 1 < argc) {
+      runs = std::atoi(argv[++i]);
+    }
+  }
+
+  std::vector<Variant> variants;
+  {
+    Variant v{"(1,0,1) first-heard (paper)", {}};
+    variants.push_back(v);
+  }
+  {
+    Variant v{"(2,0,1) min-slot", {}};
+    v.spec.messages_per_move = 2;
+    v.spec.decision = AttackerSpec::Decision::kMinSlot;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"(1,0,2) first-heard", {}};
+    v.spec.moves_per_period = 2;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"(2,2,1) history-avoiding", {}};
+    v.spec.messages_per_move = 2;
+    v.spec.history_size = 2;
+    v.spec.decision = AttackerSpec::Decision::kHistoryAvoiding;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"(2,4,2) history-avoiding", {}};
+    v.spec.messages_per_move = 2;
+    v.spec.history_size = 4;
+    v.spec.moves_per_period = 2;
+    v.spec.decision = AttackerSpec::Decision::kHistoryAvoiding;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"(2,0,1) random", {}};
+    v.spec.messages_per_move = 2;
+    v.spec.decision = AttackerSpec::Decision::kRandom;
+    variants.push_back(v);
+  }
+
+  std::cout << "Ablation: attacker strength on the 11x11 grid (" << runs
+            << " runs per cell)\n\n";
+  Table table({"attacker", "protectionless DAS", "SLP DAS", "reduction"});
+  for (const Variant& variant : variants) {
+    slpdas::core::ExperimentConfig config;
+    config.topology = slpdas::wsn::make_grid(11);
+    config.radio = slpdas::core::RadioKind::kCasinoLab;
+    config.runs = runs;
+    config.base_seed = 7;
+    config.check_schedules = false;
+    config.attacker = variant.spec;
+
+    config.protocol = ProtocolKind::kProtectionlessDas;
+    const auto base = slpdas::core::run_experiment(config);
+    config.protocol = ProtocolKind::kSlpDas;
+    const auto slp = slpdas::core::run_experiment(config);
+    const double reduction =
+        base.capture.ratio() > 0.0
+            ? 1.0 - slp.capture.ratio() / base.capture.ratio()
+            : 0.0;
+    table.add_row({variant.label, Table::percent_cell(base.capture.ratio()),
+                   Table::percent_cell(slp.capture.ratio()),
+                   Table::percent_cell(reduction)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: SLP DAS stays at or below the baseline "
+               "for every strategic attacker. Curiosities worth noticing: "
+               "(1,0,2) degenerates because its second move per period "
+               "chases a later-slot transmission back UP the gradient "
+               "(bouncing), and the random attacker is noise around small "
+               "ratios for both protocols.\n";
+  return 0;
+}

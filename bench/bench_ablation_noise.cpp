@@ -1,0 +1,100 @@
+// Experiment `abl_noise` (DESIGN.md section 4): loss-model calibration
+// ablation. The casino-lab RSSI trace is replaced in this reproduction by
+// a synthetic loss process (DESIGN.md section 2); this bench shows how the
+// capture ratios of both protocols respond to the radio model — ideal,
+// i.i.d. loss at several rates, and the bursty Markov default — so the
+// substitution's effect is measured rather than assumed.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "slpdas/core/experiment.hpp"
+#include "slpdas/metrics/table.hpp"
+
+namespace {
+
+slpdas::core::ExperimentConfig base_config(int runs) {
+  slpdas::core::ExperimentConfig config;
+  config.topology = slpdas::wsn::make_grid(11);
+  config.runs = runs;
+  config.base_seed = 13;
+  config.check_schedules = false;
+  return config;
+}
+
+struct Row {
+  std::string label;
+  double base_capture;
+  double slp_capture;
+  int base_incomplete;
+};
+
+Row measure(slpdas::core::ExperimentConfig config, std::string label) {
+  config.protocol = slpdas::core::ProtocolKind::kProtectionlessDas;
+  config.check_schedules = true;
+  const auto base = slpdas::core::run_experiment(config);
+  config.protocol = slpdas::core::ProtocolKind::kSlpDas;
+  config.check_schedules = false;
+  const auto slp = slpdas::core::run_experiment(config);
+  return {std::move(label), base.capture.ratio(), slp.capture.ratio(),
+          base.schedule_incomplete_runs};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using slpdas::metrics::Table;
+
+  int runs = 150;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--runs" && i + 1 < argc) {
+      runs = std::atoi(argv[++i]);
+    }
+  }
+
+  std::cout << "Ablation: radio/noise model on the 11x11 grid (" << runs
+            << " runs per cell)\n\n";
+  Table table({"radio model", "protectionless DAS", "SLP DAS", "reduction",
+               "incomplete setups"});
+
+  std::vector<Row> rows;
+  {
+    auto config = base_config(runs);
+    config.radio = slpdas::core::RadioKind::kIdeal;
+    rows.push_back(measure(config, "ideal (no loss)"));
+  }
+  for (double loss : {0.02, 0.05, 0.10, 0.20}) {
+    auto config = base_config(runs);
+    config.radio = slpdas::core::RadioKind::kLossy;
+    config.loss_probability = loss;
+    rows.push_back(
+        measure(config, "iid loss " + Table::percent_cell(loss, 0)));
+  }
+  {
+    auto config = base_config(runs);
+    config.radio = slpdas::core::RadioKind::kCasinoLab;
+    rows.push_back(measure(config, "casino-lab bursty (default)"));
+  }
+  {
+    auto config = base_config(runs);
+    config.radio = slpdas::core::RadioKind::kCasinoLab;
+    config.casino.burst_loss = 0.8;
+    config.casino.mean_burst = slpdas::sim::from_seconds(3.0);
+    rows.push_back(measure(config, "casino-lab heavy bursts"));
+  }
+
+  for (const Row& row : rows) {
+    const double reduction =
+        row.base_capture > 0.0 ? 1.0 - row.slp_capture / row.base_capture : 0.0;
+    table.add_row({row.label, Table::percent_cell(row.base_capture),
+                   Table::percent_cell(row.slp_capture),
+                   Table::percent_cell(reduction),
+                   std::to_string(row.base_incomplete) + "/" +
+                       std::to_string(runs)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: the SLP reduction persists across radio "
+               "models; very heavy loss erodes both the decoy setup and the "
+               "attacker's tracing ability.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Experiment `abl_safety` (DESIGN.md section 4): safety-factor ablation.
+// Equation 1 defines the safety period as Cs x C with 1 < Cs < 2 and the
+// paper fixes Cs = 1.5. This bench sweeps Cs and reports capture ratios:
+// the SLP advantage should widen as the safety period tightens (the decoy
+// only needs to waste a bounded amount of attacker time) and narrow as Cs
+// approaches 2.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "slpdas/core/experiment.hpp"
+#include "slpdas/metrics/table.hpp"
+
+int main(int argc, char** argv) {
+  using slpdas::core::ProtocolKind;
+  using slpdas::metrics::Table;
+
+  int runs = 150;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--runs" && i + 1 < argc) {
+      runs = std::atoi(argv[++i]);
+    }
+  }
+
+  std::cout << "Ablation: safety factor Cs (Eq. 1) on the 11x11 grid ("
+            << runs << " runs per cell)\n\n";
+  Table table({"Cs", "safety periods", "protectionless DAS", "SLP DAS",
+               "reduction"});
+  for (double cs : {1.1, 1.3, 1.5, 1.7, 1.9}) {
+    slpdas::core::ExperimentConfig config;
+    config.topology = slpdas::wsn::make_grid(11);
+    config.radio = slpdas::core::RadioKind::kCasinoLab;
+    config.runs = runs;
+    config.base_seed = 29;
+    config.check_schedules = false;
+    config.parameters.safety_factor = cs;
+
+    config.protocol = ProtocolKind::kProtectionlessDas;
+    const auto base = slpdas::core::run_experiment(config);
+    config.protocol = ProtocolKind::kSlpDas;
+    const auto slp = slpdas::core::run_experiment(config);
+
+    const int safety_periods =
+        static_cast<int>(std::ceil(cs * (10 + 1)));  // Delta_ss = 10
+    const double reduction =
+        base.capture.ratio() > 0.0
+            ? 1.0 - slp.capture.ratio() / base.capture.ratio()
+            : 0.0;
+    table.add_row({Table::cell(cs, 1), std::to_string(safety_periods),
+                   Table::percent_cell(base.capture.ratio()),
+                   Table::percent_cell(slp.capture.ratio()),
+                   Table::percent_cell(reduction)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: capture ratios grow with Cs for both "
+               "protocols; the SLP schedule stays below the baseline "
+               "throughout the admissible range.\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Experiment `abl_schedulers` (DESIGN.md section 4): schedule-construction
+// ablation. Compares three DAS constructions on the paper's grids:
+//
+//   * distributed Phase 1 (the paper's protocol, averaged over seeds),
+//   * centralized top-down (Delta-anchored, strong DAS),
+//   * bottom-up first-fit (compact weak DAS),
+//
+// on (a) schedule compactness — slot band span and density, which bound
+// aggregation latency — and (b) exposure: how many nodes the classic
+// min-slot attacker can reach within the safety period (via the
+// reachability analysis). This quantifies the design choice DESIGN.md
+// section 5 calls out: the paper's top-down assignment trades slot-band
+// compactness for the downward-slack that Phase 3 needs to cut decoy slots
+// below the existing band.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "slpdas/core/experiment.hpp"
+#include "slpdas/das/centralized.hpp"
+#include "slpdas/das/first_fit.hpp"
+#include "slpdas/mac/schedule_io.hpp"
+#include "slpdas/metrics/table.hpp"
+#include "slpdas/verify/reachability.hpp"
+#include "slpdas/verify/safety_period.hpp"
+
+namespace {
+
+using namespace slpdas;
+
+struct Measured {
+  mac::ScheduleStats stats;
+  int exposed_nodes = 0;
+};
+
+Measured measure(const wsn::Topology& topology, const mac::Schedule& schedule) {
+  Measured m;
+  m.stats = mac::compute_stats(schedule);
+  const auto safety = verify::compute_safety_period(
+      topology.graph, topology.source, topology.sink);
+  verify::VerifyAttacker attacker;
+  attacker.start = topology.sink;
+  const auto reach = verify::attacker_reachability(topology.graph, schedule,
+                                                   attacker, safety.periods);
+  m.exposed_nodes = static_cast<int>(reach.reached_within(safety.periods).size());
+  return m;
+}
+
+mac::Schedule distributed_schedule(const wsn::Topology& topology,
+                                   std::uint64_t seed) {
+  const core::Parameters parameters;
+  sim::Simulator simulator(topology.graph, sim::make_casino_lab_noise(), seed);
+  const auto config = parameters.das_config();
+  for (wsn::NodeId n = 0; n < topology.graph.node_count(); ++n) {
+    simulator.add_process(n, std::make_unique<das::ProtectionlessDas>(
+                                 config, topology.sink, topology.source));
+  }
+  simulator.run_until(config.minimum_setup_periods * config.period());
+  return das::extract_schedule(simulator);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: DAS construction — compactness vs attacker "
+               "exposure within the safety period\n\n";
+  metrics::Table table({"grid", "scheduler", "slot band", "density",
+                        "exposed nodes (of N)"});
+  for (int side : {11, 15}) {
+    const wsn::Topology topology = wsn::make_grid(side);
+    const std::string grid_label =
+        std::to_string(side) + "x" + std::to_string(side);
+    const auto total = std::to_string(topology.graph.node_count());
+
+    const auto phase1 = measure(topology, distributed_schedule(topology, 1));
+    table.add_row({grid_label, "distributed Phase 1 (seed 1)",
+                   std::to_string(phase1.stats.min_slot) + ".." +
+                       std::to_string(phase1.stats.max_slot),
+                   metrics::Table::cell(phase1.stats.density, 2),
+                   std::to_string(phase1.exposed_nodes) + " / " + total});
+
+    const auto top_down = measure(
+        topology,
+        das::build_centralized_das(topology.graph, topology.sink).schedule);
+    table.add_row({grid_label, "centralized top-down",
+                   std::to_string(top_down.stats.min_slot) + ".." +
+                       std::to_string(top_down.stats.max_slot),
+                   metrics::Table::cell(top_down.stats.density, 2),
+                   std::to_string(top_down.exposed_nodes) + " / " + total});
+
+    const auto first_fit = measure(
+        topology,
+        das::build_first_fit_das(topology.graph, topology.sink).schedule);
+    table.add_row({grid_label, "bottom-up first-fit",
+                   std::to_string(first_fit.stats.min_slot) + ".." +
+                       std::to_string(first_fit.stats.max_slot),
+                   metrics::Table::cell(first_fit.stats.density, 2),
+                   std::to_string(first_fit.exposed_nodes) + " / " + total});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: first-fit packs the band densely (low latency) "
+               "but every construction leaves a min-slot gradient an "
+               "attacker can descend; only the Phase 3 refinement (not "
+               "shown here; see bench_fig5*) shapes WHERE that gradient "
+               "leads.\n";
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Experiment `fig5a` (DESIGN.md section 4): paper Figure 5(a) — capture
+// ratio vs network size with search distance SD = 3.
+#include "fig5_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto options = slpdas::bench::parse_fig5_options(argc, argv, 3);
+  return slpdas::bench::run_fig5(options, "Figure 5(a)");
+}

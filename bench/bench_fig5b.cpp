@@ -1,0 +1,8 @@
+// Experiment `fig5b` (DESIGN.md section 4): paper Figure 5(b) — capture
+// ratio vs network size with search distance SD = 5.
+#include "fig5_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto options = slpdas::bench::parse_fig5_options(argc, argv, 5);
+  return slpdas::bench::run_fig5(options, "Figure 5(b)");
+}

@@ -1,0 +1,74 @@
+// Experiment `claim_overhead` (DESIGN.md section 4): Section VI-E /
+// abstract claim that SLP DAS adds "negligible message overhead" over
+// protectionless DAS. Measures control (HELLO + DISSEM + SEARCH + CHANGE)
+// and data (NORMAL) messages per node across the paper's grid sizes.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "slpdas/core/experiment.hpp"
+#include "slpdas/metrics/table.hpp"
+
+namespace {
+
+slpdas::core::ExperimentConfig make_config(int side,
+                                           slpdas::core::ProtocolKind protocol,
+                                           int runs) {
+  slpdas::core::ExperimentConfig config;
+  config.topology = slpdas::wsn::make_grid(side);
+  config.protocol = protocol;
+  config.radio = slpdas::core::RadioKind::kCasinoLab;
+  config.runs = runs;
+  config.base_seed = 42;
+  config.check_schedules = false;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using slpdas::core::ProtocolKind;
+  using slpdas::metrics::Table;
+
+  int runs = 40;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--runs" && i + 1 < argc) {
+      runs = std::atoi(argv[++i]);
+    }
+  }
+
+  std::cout << "Reproduction of the 'negligible message overhead' claim "
+               "(Section VI-E): control messages per node over a full run\n\n";
+
+  Table table({"network size", "base ctrl/node", "slp ctrl/node",
+               "extra msgs/node", "base total/node", "slp total/node",
+               "total overhead"});
+  double worst_overhead = 0.0;
+  for (int side : {11, 15, 21}) {
+    const auto base = slpdas::core::run_experiment(
+        make_config(side, ProtocolKind::kProtectionlessDas, runs));
+    const auto slp = slpdas::core::run_experiment(
+        make_config(side, ProtocolKind::kSlpDas, runs));
+    const double base_ctrl = base.control_messages_per_node.mean();
+    const double slp_ctrl = slp.control_messages_per_node.mean();
+    const double base_total =
+        base_ctrl + base.normal_messages_per_node.mean();
+    const double slp_total = slp_ctrl + slp.normal_messages_per_node.mean();
+    const double overhead =
+        base_total > 0.0 ? (slp_total - base_total) / base_total : 0.0;
+    worst_overhead = std::max(worst_overhead, overhead);
+    table.add_row({std::to_string(side) + "x" + std::to_string(side),
+                   Table::cell(base_ctrl, 2), Table::cell(slp_ctrl, 2),
+                   Table::cell(slp_ctrl - base_ctrl, 2),
+                   Table::cell(base_total, 2), Table::cell(slp_total, 2),
+                   Table::percent_cell(overhead)});
+  }
+  table.print(std::cout);
+  std::cout << "\nworst-case total message overhead: "
+            << Table::percent_cell(worst_overhead)
+            << " (paper claim: negligible). The extra messages are the "
+               "SEARCH/CHANGE walk plus the update disseminations repairing "
+               "the decoy subtree -- a one-off cost of a few messages per "
+               "node, independent of run length.\n";
+  return 0;
+}

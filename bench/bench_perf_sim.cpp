@@ -1,0 +1,97 @@
+// Experiment `perf_sim` (DESIGN.md section 4): throughput of the
+// discrete-event simulator substrate — full protocol runs per second and
+// events per second across network sizes, the figure of merit that makes
+// the 100+ seed capture experiments laptop-feasible.
+#include <benchmark/benchmark.h>
+
+#include "slpdas/core/experiment.hpp"
+
+namespace {
+
+using namespace slpdas;  // NOLINT: bench-local convenience
+
+core::ExperimentConfig run_config(int side, core::ProtocolKind protocol) {
+  core::ExperimentConfig config;
+  config.topology = wsn::make_grid(side);
+  config.protocol = protocol;
+  config.radio = core::RadioKind::kCasinoLab;
+  config.check_schedules = false;
+  return config;
+}
+
+void BM_FullRunProtectionless(benchmark::State& state) {
+  const auto config = run_config(static_cast<int>(state.range(0)),
+                                 core::ProtocolKind::kProtectionlessDas);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_single(config, seed++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullRunProtectionless)->Arg(11)->Arg(15)->Arg(21)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullRunSlp(benchmark::State& state) {
+  const auto config =
+      run_config(static_cast<int>(state.range(0)), core::ProtocolKind::kSlpDas);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_single(config, seed++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullRunSlp)->Arg(11)->Arg(15)->Arg(21)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SetupPhaseEvents(benchmark::State& state) {
+  // Events per second through the queue during the chatty setup phase.
+  const int side = static_cast<int>(state.range(0));
+  const wsn::Topology topology = wsn::make_grid(side);
+  const core::Parameters parameters;
+  std::uint64_t seed = 1;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Simulator simulator(topology.graph, sim::make_casino_lab_noise(),
+                             seed++);
+    const auto das_config = parameters.das_config();
+    for (wsn::NodeId n = 0; n < topology.graph.node_count(); ++n) {
+      simulator.add_process(n, std::make_unique<das::ProtectionlessDas>(
+                                   das_config, topology.sink,
+                                   topology.source));
+    }
+    simulator.run_until(20 * das_config.period());
+    events += simulator.events_executed();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items = simulator events");
+}
+BENCHMARK(BM_SetupPhaseEvents)->Arg(11)->Arg(21)->Unit(benchmark::kMillisecond);
+
+void BM_BroadcastFanout(benchmark::State& state) {
+  // Microbenchmark: one broadcast delivered to four neighbours.
+  const wsn::Topology topology = wsn::make_grid(5);
+
+  struct Chatter final : sim::Process {
+    void on_start() override { set_timer(1, 1); }
+    void on_timer(int) override {
+      broadcast(std::make_shared<das::HelloMessage>());
+      set_timer(1, 1);
+    }
+    void on_message(wsn::NodeId, const sim::Message&) override {}
+  };
+
+  sim::Simulator simulator(topology.graph, sim::make_ideal_radio(), 1);
+  for (wsn::NodeId n = 0; n < topology.graph.node_count(); ++n) {
+    simulator.add_process(n, std::make_unique<Chatter>());
+  }
+  sim::SimTime horizon = 0;
+  for (auto _ : state) {
+    horizon += 100;
+    simulator.run_until(horizon);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(simulator.events_executed()));
+}
+BENCHMARK(BM_BroadcastFanout);
+
+}  // namespace

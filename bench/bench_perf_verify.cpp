@@ -1,0 +1,99 @@
+// Experiment `perf_verify` (DESIGN.md section 4): cost of the
+// VerifySchedule decision procedure (Algorithm 1). Google-benchmark over
+// network size and engine (0-1 BFS vs literal exhaustive DFS), plus the
+// Definition 1-3 checkers.
+#include <benchmark/benchmark.h>
+
+#include "slpdas/das/centralized.hpp"
+#include "slpdas/verify/das_checker.hpp"
+#include "slpdas/verify/safety_period.hpp"
+#include "slpdas/verify/verify_schedule.hpp"
+#include "slpdas/wsn/topology.hpp"
+
+namespace {
+
+using namespace slpdas;  // NOLINT: bench-local convenience
+
+struct Fixture {
+  wsn::Topology topology;
+  mac::Schedule schedule;
+  verify::SafetyPeriod safety;
+
+  explicit Fixture(int side)
+      : topology(wsn::make_grid(side)),
+        schedule(das::build_centralized_das(topology.graph, topology.sink)
+                     .schedule),
+        safety(verify::compute_safety_period(topology.graph, topology.source,
+                                             topology.sink)) {}
+};
+
+void BM_VerifyScheduleBfs(benchmark::State& state) {
+  const Fixture fixture(static_cast<int>(state.range(0)));
+  verify::VerifyAttacker attacker;
+  attacker.start = fixture.topology.sink;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::verify_schedule(
+        fixture.topology.graph, fixture.schedule, attacker,
+        fixture.safety.periods, fixture.topology.source));
+  }
+  state.SetLabel(std::to_string(fixture.topology.graph.node_count()) +
+                 " nodes");
+}
+BENCHMARK(BM_VerifyScheduleBfs)->Arg(11)->Arg(15)->Arg(21)->Arg(31);
+
+void BM_VerifyScheduleExhaustive(benchmark::State& state) {
+  const Fixture fixture(static_cast<int>(state.range(0)));
+  verify::VerifyAttacker attacker;
+  attacker.start = fixture.topology.sink;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::verify_schedule_exhaustive(
+        fixture.topology.graph, fixture.schedule, attacker,
+        fixture.safety.periods, fixture.topology.source));
+  }
+}
+BENCHMARK(BM_VerifyScheduleExhaustive)->Arg(11)->Arg(15)->Arg(21);
+
+void BM_VerifyWorstCaseAttacker(benchmark::State& state) {
+  // Nondeterministic attacker (any of B, R = 2): the expensive case.
+  const Fixture fixture(static_cast<int>(state.range(0)));
+  verify::VerifyAttacker attacker;
+  attacker.start = fixture.topology.sink;
+  attacker.policy = verify::DPolicy::kAnyHeard;
+  attacker.messages_per_move = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::verify_schedule(
+        fixture.topology.graph, fixture.schedule, attacker,
+        fixture.safety.periods, fixture.topology.source));
+  }
+}
+BENCHMARK(BM_VerifyWorstCaseAttacker)->Arg(11)->Arg(15)->Arg(21);
+
+void BM_CheckStrongDas(benchmark::State& state) {
+  const Fixture fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::check_strong_das(
+        fixture.topology.graph, fixture.schedule, fixture.topology.sink));
+  }
+}
+BENCHMARK(BM_CheckStrongDas)->Arg(11)->Arg(21)->Arg(31);
+
+void BM_CheckNonColliding(benchmark::State& state) {
+  const Fixture fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::check_noncolliding(
+        fixture.topology.graph, fixture.schedule, fixture.topology.sink));
+  }
+}
+BENCHMARK(BM_CheckNonColliding)->Arg(11)->Arg(21)->Arg(31);
+
+void BM_CentralizedDasBuild(benchmark::State& state) {
+  const wsn::Topology topology =
+      wsn::make_grid(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        das::build_centralized_das(topology.graph, topology.sink));
+  }
+}
+BENCHMARK(BM_CentralizedDasBuild)->Arg(11)->Arg(21)->Arg(31);
+
+}  // namespace

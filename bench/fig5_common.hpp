@@ -1,0 +1,141 @@
+// Shared harness for Figure 5 (capture ratio vs network size) benches.
+//
+// Reproduces the paper's evaluation setup (Section VI): square grids of
+// side 11/15/21 with the source top-left and the sink at the centre,
+// Table I parameters, a (1,0,1,sink,first-heard)-attacker, safety factor
+// 1.5, and the synthetic casino-lab noise model. For each grid size it
+// runs protectionless DAS and SLP DAS over N seeds and prints the capture
+// ratios that Figure 5 plots, plus the aggregate reduction factor backing
+// the paper's "reduces the capture ratio by 50%" headline.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "slpdas/core/experiment.hpp"
+#include "slpdas/metrics/table.hpp"
+
+namespace slpdas::bench {
+
+struct Fig5Options {
+  int search_distance = 3;
+  std::vector<int> sides{11, 15, 21};
+  int runs = 100;
+  std::uint64_t base_seed = 2017;
+  std::string csv_path;  ///< when set, also write the table as CSV
+};
+
+/// Parses --runs/--sd/--seed/--sizes out of argv (used by both fig5
+/// binaries so CI can dial the cost down).
+inline Fig5Options parse_fig5_options(int argc, char** argv,
+                                      int default_search_distance) {
+  Fig5Options options;
+  options.search_distance = default_search_distance;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_int = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << '\n';
+        std::exit(2);
+      }
+      return std::atoi(argv[++i]);
+    };
+    if (arg == "--runs") {
+      options.runs = next_int("--runs");
+    } else if (arg == "--sd") {
+      options.search_distance = next_int("--sd");
+    } else if (arg == "--seed") {
+      options.base_seed = static_cast<std::uint64_t>(next_int("--seed"));
+    } else if (arg == "--csv") {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for --csv\n";
+        std::exit(2);
+      }
+      options.csv_path = argv[++i];
+    } else if (arg == "--small") {
+      // Quick mode for smoke runs: fewer seeds, drop the 21x21 grid.
+      options.runs = 30;
+      options.sides = {11, 15};
+    } else {
+      std::cerr << "unknown argument " << arg << '\n';
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+inline core::ExperimentConfig make_fig5_config(int side, int search_distance,
+                                               core::ProtocolKind protocol,
+                                               int runs,
+                                               std::uint64_t base_seed) {
+  core::ExperimentConfig config;
+  config.topology = wsn::make_grid(side);
+  config.protocol = protocol;
+  config.parameters = core::Parameters{};  // Table I defaults
+  config.parameters.search_distance = search_distance;
+  config.radio = core::RadioKind::kCasinoLab;
+  config.runs = runs;
+  config.base_seed = base_seed;
+  config.check_schedules = false;  // measured by tests; skip for speed
+  return config;
+}
+
+inline int run_fig5(const Fig5Options& options, const char* figure_name) {
+  std::cout << "Reproduction of " << figure_name
+            << ": capture ratio vs network size (SD = "
+            << options.search_distance << ", " << options.runs
+            << " runs per point, casino-lab noise)\n\n";
+
+  metrics::Table table({"network size", "protectionless DAS", "SLP DAS",
+                        "reduction", "base 95% CI", "slp 95% CI"});
+  double base_total = 0.0;
+  double slp_total = 0.0;
+  for (int side : options.sides) {
+    const auto base = core::run_experiment(
+        make_fig5_config(side, options.search_distance,
+                         core::ProtocolKind::kProtectionlessDas, options.runs,
+                         options.base_seed));
+    const auto slp = core::run_experiment(
+        make_fig5_config(side, options.search_distance,
+                         core::ProtocolKind::kSlpDas, options.runs,
+                         options.base_seed));
+    base_total += base.capture.ratio();
+    slp_total += slp.capture.ratio();
+    const auto [base_low, base_high] = base.capture.wilson95();
+    const auto [slp_low, slp_high] = slp.capture.wilson95();
+    const double reduction =
+        base.capture.ratio() > 0.0
+            ? 1.0 - slp.capture.ratio() / base.capture.ratio()
+            : 0.0;
+    table.add_row({std::to_string(side) + "x" + std::to_string(side),
+                   metrics::Table::percent_cell(base.capture.ratio()),
+                   metrics::Table::percent_cell(slp.capture.ratio()),
+                   metrics::Table::percent_cell(reduction),
+                   "[" + metrics::Table::percent_cell(base_low) + ", " +
+                       metrics::Table::percent_cell(base_high) + "]",
+                   "[" + metrics::Table::percent_cell(slp_low) + ", " +
+                       metrics::Table::percent_cell(slp_high) + "]"});
+  }
+  table.print(std::cout);
+  if (!options.csv_path.empty()) {
+    std::ofstream csv(options.csv_path);
+    if (!csv) {
+      std::cerr << "cannot open " << options.csv_path << " for writing\n";
+      return 1;
+    }
+    table.write_csv(csv);
+    std::cout << "\n(wrote " << options.csv_path << ")\n";
+  }
+
+  const double aggregate_reduction =
+      base_total > 0.0 ? 1.0 - slp_total / base_total : 0.0;
+  std::cout << "\naggregate capture-ratio reduction (claim_50pct): "
+            << metrics::Table::percent_cell(aggregate_reduction)
+            << " (paper: ~50%)\n";
+  return 0;
+}
+
+}  // namespace slpdas::bench

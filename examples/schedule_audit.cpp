@@ -1,0 +1,75 @@
+// Schedule audit — using the library as a verification tool, not a
+// simulator.
+//
+// Feed any TDMA slot assignment to the Definition 1-3 checkers and the
+// Algorithm 1 decision procedure. The example audits three schedules on a
+// 7x7 grid: the centralized strong-DAS construction, a deliberately
+// corrupted variant (to show violation reports and the counterexample
+// trace), and a hand-refined decoy variant (to show a schedule BECOMING
+// delta-SLP-aware).
+//
+// Build & run:  ./build/examples/schedule_audit
+#include <iostream>
+
+#include "slpdas/slpdas.hpp"
+
+namespace {
+
+using namespace slpdas;
+
+void audit(const char* title, const wsn::Topology& topology,
+           const mac::Schedule& schedule, int safety_periods) {
+  std::cout << "== " << title << " ==\n";
+  const auto strong =
+      verify::check_strong_das(topology.graph, schedule, topology.sink);
+  const auto weak =
+      verify::check_weak_das(topology.graph, schedule, topology.sink);
+  std::cout << "strong DAS (Def. 2): " << strong.summary() << "\n";
+  std::cout << "weak   DAS (Def. 3): " << weak.summary() << "\n";
+
+  verify::VerifyAttacker attacker;
+  attacker.start = topology.sink;
+  const auto verdict = verify::verify_schedule(
+      topology.graph, schedule, attacker, safety_periods, topology.source);
+  std::cout << "Algorithm 1 (delta = " << safety_periods
+            << "): " << verdict.to_string() << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  const wsn::Topology topology = wsn::make_grid(7);
+  const verify::SafetyPeriod safety = verify::compute_safety_period(
+      topology.graph, topology.source, topology.sink);
+
+  // 1. The centralized reference construction.
+  const auto centralized =
+      das::build_centralized_das(topology.graph, topology.sink);
+  audit("centralized strong DAS", topology, centralized.schedule,
+        safety.periods);
+
+  // 2. Corrupt it: give two 2-hop neighbours the same slot and invert one
+  //    parent/child order, then show the checkers pinpointing both.
+  mac::Schedule corrupted = centralized.schedule;
+  corrupted.set_slot(1, corrupted.slot(3));             // 2-hop collision
+  corrupted.set_slot(10, centralized.schedule.max_slot() + 1);  // fires last
+  audit("corrupted variant", topology, corrupted, safety.periods);
+
+  // 3. Hand-refine a decoy: drag a path of three nodes on the far side of
+  //    the sink below every other slot, exactly what Phase 3 automates.
+  mac::Schedule refined = centralized.schedule;
+  const mac::SlotId floor = refined.min_slot();
+  // Sink is node 24 (centre). The decoy path 25 -> 26 -> 27 leads east,
+  // away from the top-left source.
+  refined.set_slot(25, floor - 1);
+  refined.set_slot(26, floor - 2);
+  refined.set_slot(27, floor - 3);
+  audit("hand-refined decoy variant", topology, refined, safety.periods);
+
+  std::cout << "The centralized schedule's verdict depends on where its "
+               "deterministic slot gradient descends; the corrupted variant "
+               "shows the checkers' violation reports; the decoy variant "
+               "parks the attacker east of the sink, away from the "
+               "top-left source.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Wildlife monitoring scenario — the paper's motivating application
+// (Section I: anti-poaching asset monitoring).
+//
+// A reserve is covered by sensors placed on a regular grid along patrol
+// lines, with the base station at the ranger post in the centre. A tagged
+// animal is detected at the reserve's north-west boundary (that corner
+// node becomes the source). Rangers compare deploying
+// protectionless DAS vs SLP DAS: for each protocol the example reports
+// capture ratio, mean capture time of a poacher walking the TDMA gradient,
+// data-delivery ratio and radio traffic — the trade-off table a deployment
+// engineer would want.
+//
+// Build & run:  ./build/examples/wildlife_monitoring [runs]
+#include <cstdlib>
+#include <iostream>
+
+#include "slpdas/slpdas.hpp"
+
+int main(int argc, char** argv) {
+  using namespace slpdas;
+
+  const int runs = argc > 1 ? std::atoi(argv[1]) : 40;
+
+  // Regular 13x13 deployment, 25 m spacing: ~300 m x 300 m of reserve.
+  const wsn::Topology reserve = wsn::make_grid(13, 25.0);
+  const int animal_distance =
+      wsn::hop_distance(reserve.graph, reserve.source, reserve.sink);
+  std::cout << "reserve: " << reserve.graph.to_string()
+            << ", base station at node " << reserve.sink
+            << ", animal detected by node " << reserve.source << " ("
+            << animal_distance << " hops out)\n\n";
+
+  metrics::Table table({"protocol", "poacher capture ratio",
+                        "mean capture time", "data delivery",
+                        "msgs/node"});
+  for (const auto protocol : {core::ProtocolKind::kProtectionlessDas,
+                              core::ProtocolKind::kSlpDas}) {
+    core::ExperimentConfig config;
+    config.topology = reserve;
+    config.protocol = protocol;
+    config.radio = core::RadioKind::kCasinoLab;
+    config.runs = runs;
+    config.base_seed = 99;
+    config.check_schedules = false;
+    const auto result = core::run_experiment(config);
+    table.add_row(
+        {core::to_string(protocol),
+         metrics::Table::percent_cell(result.capture.ratio()),
+         result.capture_time_s.count() > 0
+             ? metrics::Table::cell(result.capture_time_s.mean(), 1) + "s"
+             : "-",
+         metrics::Table::percent_cell(result.delivery_ratio.mean()),
+         metrics::Table::cell(result.control_messages_per_node.mean() +
+                                  result.normal_messages_per_node.mean(),
+                              1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nInterpretation: SLP DAS trades a few extra control "
+               "messages for a roughly halved chance that a message-tracing "
+               "poacher locates the animal before the safety period "
+               "expires.\n";
+  return 0;
+}

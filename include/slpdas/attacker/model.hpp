@@ -1,0 +1,114 @@
+// The paper's (R, H, M, s0, D)-attacker model (Section III-B, Figure 1).
+//
+// A distributed eavesdropper parameterised by:
+//   R  — messages it can capture before it must decide a move,
+//   H  — length of its visited-location memory,
+//   M  — moves it may make per TDMA period,
+//   s0 — starting location (conventionally the sink),
+//   D  — decision function mapping (captured messages, history) to the
+//        next location.
+//
+// The classic attacker of most SLP work — and the one the paper evaluates
+// (Section VI-C) — is (1, 0, 1, sink, D): move to the sender of the first
+// message heard each period.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "slpdas/mac/schedule.hpp"
+#include "slpdas/rng.hpp"
+#include "slpdas/wsn/graph.hpp"
+
+namespace slpdas::attacker {
+
+/// One captured message, as the decision function sees it: who sent it and
+/// in which TDMA slot the sender transmits. (The paper's attacker "knows
+/// the period length", so slot positions are observable from timing.)
+struct HeardMessage {
+  wsn::NodeId sender = wsn::kNoNode;
+  mac::SlotId sender_slot = mac::kNoSlot;
+};
+
+/// The attacker's decision function D: given the messages captured since
+/// the last move (|msgs| <= R) and the H most recent locations, return the
+/// next location. Implementations must return either kNoNode ("stay") or
+/// the sender of one of the captured messages — the attacker can only move
+/// toward a transmission it actually heard, one hop at a time.
+class DecisionFunction {
+ public:
+  virtual ~DecisionFunction() = default;
+
+  [[nodiscard]] virtual wsn::NodeId decide(
+      const std::vector<HeardMessage>& messages,
+      const std::deque<wsn::NodeId>& history, Rng& rng) = 0;
+
+  /// Stable name for reports ("first-heard", "min-slot", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Moves to the sender of the first captured message — with R = 1 this is
+/// the classic panda-hunter attacker.
+class FirstHeardD final : public DecisionFunction {
+ public:
+  [[nodiscard]] wsn::NodeId decide(const std::vector<HeardMessage>& messages,
+                                   const std::deque<wsn::NodeId>& history,
+                                   Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "first-heard"; }
+};
+
+/// Moves to the captured sender with the smallest slot (the earliest
+/// transmitter). Equal to FirstHeardD when R = 1 over a loss-free radio.
+class MinSlotD final : public DecisionFunction {
+ public:
+  [[nodiscard]] wsn::NodeId decide(const std::vector<HeardMessage>& messages,
+                                   const std::deque<wsn::NodeId>& history,
+                                   Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "min-slot"; }
+};
+
+/// Like MinSlotD but refuses to re-enter any of the H most recently
+/// visited locations unless no alternative exists — a strictly stronger
+/// attacker that cannot be parked on a decoy dead end forever.
+class HistoryAvoidingD final : public DecisionFunction {
+ public:
+  [[nodiscard]] wsn::NodeId decide(const std::vector<HeardMessage>& messages,
+                                   const std::deque<wsn::NodeId>& history,
+                                   Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "history-avoiding"; }
+};
+
+/// Moves to a uniformly random captured sender (a weak, baseline attacker).
+class RandomChoiceD final : public DecisionFunction {
+ public:
+  [[nodiscard]] wsn::NodeId decide(const std::vector<HeardMessage>& messages,
+                                   const std::deque<wsn::NodeId>& history,
+                                   Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "random-choice"; }
+};
+
+[[nodiscard]] std::unique_ptr<DecisionFunction> make_first_heard();
+[[nodiscard]] std::unique_ptr<DecisionFunction> make_min_slot();
+[[nodiscard]] std::unique_ptr<DecisionFunction> make_history_avoiding();
+[[nodiscard]] std::unique_ptr<DecisionFunction> make_random_choice();
+
+/// The full parameter tuple. `decision` is shared so one configuration can
+/// drive many runs.
+struct AttackerParams {
+  int messages_per_move = 1;  ///< R
+  int history_size = 0;       ///< H
+  int moves_per_period = 1;   ///< M
+  wsn::NodeId start = wsn::kNoNode;  ///< s0 (default: the sink)
+  std::shared_ptr<DecisionFunction> decision;  ///< D (default: first-heard)
+
+  /// Validates and fills defaults; throws std::invalid_argument on R/M < 1
+  /// or H < 0.
+  void validate_and_default();
+
+  /// "(R,H,M)-first-heard" style label for reports.
+  [[nodiscard]] std::string label() const;
+};
+
+}  // namespace slpdas::attacker

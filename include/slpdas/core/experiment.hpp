@@ -1,0 +1,107 @@
+// The capture-ratio experiment harness (paper Section VI).
+//
+// One "run" reproduces a single TOSSIM execution: build the topology, run
+// the chosen protocol through neighbour discovery and setup, start the
+// data phase and the eavesdropper at period MSP, and record whether the
+// attacker reaches the source within the safety period. An "experiment"
+// repeats runs over distinct seeds and aggregates capture ratio, capture
+// time, message overhead, delivery and schedule-validity statistics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "slpdas/attacker/model.hpp"
+#include "slpdas/core/parameters.hpp"
+#include "slpdas/metrics/stats.hpp"
+#include "slpdas/sim/radio.hpp"
+#include "slpdas/wsn/topology.hpp"
+
+namespace slpdas::core {
+
+enum class ProtocolKind {
+  kProtectionlessDas,  ///< Phase 1 only (the paper's baseline)
+  kSlpDas,             ///< full 3-phase SLP-aware protocol
+  kPhantomRouting,     ///< routing-layer SLP baseline (Kamat et al. [4])
+};
+
+[[nodiscard]] const char* to_string(ProtocolKind kind) noexcept;
+
+enum class RadioKind {
+  kIdeal,      ///< no losses (fully deterministic runs)
+  kLossy,      ///< i.i.d. per-reception loss
+  kCasinoLab,  ///< bursty Markov-modulated loss (default; see DESIGN.md)
+};
+
+[[nodiscard]] const char* to_string(RadioKind kind) noexcept;
+
+/// Attacker specification by value (a fresh DecisionFunction is built per
+/// run so parallel runs never share state).
+struct AttackerSpec {
+  int messages_per_move = 1;  ///< R
+  int history_size = 0;       ///< H
+  int moves_per_period = 1;   ///< M
+  enum class Decision { kFirstHeard, kMinSlot, kHistoryAvoiding, kRandom };
+  Decision decision = Decision::kFirstHeard;
+
+  [[nodiscard]] attacker::AttackerParams build(wsn::NodeId start) const;
+  [[nodiscard]] std::string label() const;
+};
+
+struct ExperimentConfig {
+  wsn::Topology topology;
+  ProtocolKind protocol = ProtocolKind::kProtectionlessDas;
+  Parameters parameters{};
+  AttackerSpec attacker{};
+  RadioKind radio = RadioKind::kCasinoLab;
+  /// Random-walk length for ProtocolKind::kPhantomRouting (Kamat's h).
+  int phantom_walk_length = 10;
+  double loss_probability = 0.05;        ///< for RadioKind::kLossy
+  sim::CasinoLabParams casino{};         ///< for RadioKind::kCasinoLab
+  int runs = 100;
+  std::uint64_t base_seed = 1;
+  bool check_schedules = true;  ///< run Def 1-3 checkers on every run
+  int threads = 0;              ///< 0 = hardware concurrency
+};
+
+/// Outcome of one seeded run.
+struct RunResult {
+  bool captured = false;           ///< within the safety period
+  std::optional<double> capture_time_s;  ///< since source activation
+  int safety_periods = 0;
+  int source_sink_distance = 0;
+  bool schedule_complete = false;
+  bool weak_das_ok = false;
+  bool strong_das_ok = false;
+  double delivery_ratio = 0.0;      ///< sink-delivered / source-generated
+  double delivery_latency_s = 0.0;  ///< mean aggregation latency at the sink
+  double control_messages_per_node = 0.0;  ///< HELLO+DISSEM+SEARCH+CHANGE
+  double normal_messages_per_node = 0.0;
+  int attacker_moves = 0;
+};
+
+/// Aggregate over all runs of one configuration.
+struct ExperimentResult {
+  metrics::ProportionStats capture;             ///< the paper's capture ratio
+  metrics::RunningStats capture_time_s;         ///< captured runs only
+  metrics::RunningStats delivery_ratio;
+  metrics::RunningStats delivery_latency_s;
+  metrics::RunningStats control_messages_per_node;
+  metrics::RunningStats normal_messages_per_node;
+  metrics::RunningStats attacker_moves;
+  int schedule_incomplete_runs = 0;
+  int weak_das_failures = 0;
+  int strong_das_failures = 0;
+  int runs = 0;
+};
+
+/// Executes one seeded run. Deterministic in (config, seed).
+[[nodiscard]] RunResult run_single(const ExperimentConfig& config,
+                                   std::uint64_t seed);
+
+/// Runs `config.runs` seeded runs (seed = derive_seed(base_seed, i)) across
+/// `config.threads` workers and aggregates.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace slpdas::core

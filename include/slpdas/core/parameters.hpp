@@ -1,0 +1,54 @@
+// Paper Table I parameters and their mapping onto protocol configs.
+//
+// Defaults are exactly the paper's values. With them, one TDMA period is
+// 0.5 s + 100 x 0.05 s = 5.5 s — equal to the source period, i.e. the
+// source generates one datum per period.
+#pragma once
+
+#include <optional>
+
+#include "slpdas/das/protocol.hpp"
+#include "slpdas/mac/frame.hpp"
+#include "slpdas/slp/slp_das.hpp"
+#include "slpdas/wsn/paths.hpp"
+#include "slpdas/wsn/topology.hpp"
+
+namespace slpdas::core {
+
+struct Parameters {
+  // Protectionless DAS block of Table I.
+  double source_period_s = 5.5;   ///< Psrc (informational; == period())
+  double slot_period_s = 0.05;    ///< Pslot
+  double dissem_period_s = 0.5;   ///< Pdiss
+  int slots = 100;                ///< number of assignable slots (Delta)
+  int minimum_setup_periods = 80; ///< MSP
+  int neighbor_discovery_periods = 4;  ///< NDP
+  int dissemination_timeout = 5;  ///< DT
+
+  // SLP DAS block of Table I.
+  int search_distance = 3;        ///< SD (paper: 3 or 5)
+  /// CL; defaults to Delta_ss - SD (Table I) when unset.
+  std::optional<int> change_length;
+  /// Period in which the sink launches the Phase 2 search; defaults to
+  /// MSP / 2, comfortably after slot assignment stabilises.
+  std::optional<int> search_start_period;
+
+  // Safety period (Eq. 1) and simulation bound (Section VI-B).
+  double safety_factor = 1.5;     ///< Cs
+  double sim_bound_multiplier = 4.0;  ///< upper bound = nodes * Psrc * this
+
+  [[nodiscard]] mac::FrameConfig frame() const;
+  [[nodiscard]] das::DasConfig das_config() const;
+
+  /// SLP config for a given topology: resolves CL = Delta_ss - SD (>= 1)
+  /// and the search start period.
+  [[nodiscard]] slp::SlpConfig slp_config(const wsn::Topology& topology) const;
+
+  /// Resolved change length for a topology (Table I's CL row).
+  [[nodiscard]] int resolved_change_length(const wsn::Topology& topology) const;
+
+  /// The paper's simulation upper time bound: nodes x Psrc x multiplier.
+  [[nodiscard]] sim::SimTime upper_time_bound(int node_count) const;
+};
+
+}  // namespace slpdas::core

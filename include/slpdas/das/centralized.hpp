@@ -1,0 +1,37 @@
+// Centralized reference DAS scheduler.
+//
+// A global-knowledge scheduler that produces a strong DAS (Definition 2)
+// directly: BFS layering from the sink, sink anchored at the largest slot,
+// every node given a slot strictly below all of its shortest-path
+// neighbours, greedily decremented until non-colliding in its 2-hop
+// neighbourhood (Definition 1).
+//
+// Used as (a) the oracle in tests (its output must always satisfy
+// check_strong_das), (b) the schedule source for VerifySchedule unit tests
+// and benchmarks, and (c) a baseline to compare the distributed Phase 1
+// protocol against.
+#pragma once
+
+#include <vector>
+
+#include "slpdas/mac/schedule.hpp"
+#include "slpdas/wsn/graph.hpp"
+
+namespace slpdas::das {
+
+/// Result of centralized schedule construction.
+struct CentralizedResult {
+  mac::Schedule schedule;
+  std::vector<wsn::NodeId> parent;  ///< BFS-tree parent per node (sink: kNoNode)
+  std::vector<int> hop;             ///< hop distance to sink per node
+};
+
+/// Builds a strong DAS for `graph` rooted at `sink`, anchoring the sink at
+/// `sink_slot` (the paper's Delta, default 100 per Table I). The graph must
+/// be connected. Slots may extend below 1 on topologies deeper than
+/// `sink_slot` allows; callers renormalise with Schedule::shift if needed.
+[[nodiscard]] CentralizedResult build_centralized_das(const wsn::Graph& graph,
+                                                      wsn::NodeId sink,
+                                                      mac::SlotId sink_slot = 100);
+
+}  // namespace slpdas::das

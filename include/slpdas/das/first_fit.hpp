@@ -1,0 +1,33 @@
+// Bottom-up first-fit DAS scheduler — the classic minimum-latency style
+// construction from the data aggregation scheduling literature, used here
+// as a second centralized baseline.
+//
+// Where the paper's Phase 1 (and build_centralized_das) anchor the sink at
+// a large slot Delta and hand out DECREASING slots outward — leaving most
+// of the band unused — first-fit works leaf-to-root: every node takes the
+// SMALLEST slot that is (a) strictly greater than all of its tree
+// children's slots and (b) non-colliding in its 2-hop neighbourhood
+// (Definition 1). The result is a compact weak DAS whose max slot bounds
+// the aggregation latency in slots; `bench_ablation_schedulers` compares
+// the two constructions on compactness and on attacker behaviour.
+#pragma once
+
+#include <vector>
+
+#include "slpdas/mac/schedule.hpp"
+#include "slpdas/wsn/graph.hpp"
+
+namespace slpdas::das {
+
+struct FirstFitResult {
+  mac::Schedule schedule;
+  std::vector<wsn::NodeId> parent;  ///< BFS-tree parent (sink: kNoNode)
+  mac::SlotId sink_slot = 0;        ///< slot assigned to the sink (the max)
+};
+
+/// Builds a compact bottom-up weak DAS rooted at `sink`. The graph must be
+/// connected. Slots start at 1; the sink receives the largest slot.
+[[nodiscard]] FirstFitResult build_first_fit_das(const wsn::Graph& graph,
+                                                 wsn::NodeId sink);
+
+}  // namespace slpdas::das

@@ -1,0 +1,69 @@
+// TDMA frame timing (paper Table I).
+//
+// One TDMA period consists of a dissemination window (Pdiss, control
+// traffic: DISSEM/SEARCH/CHANGE) followed by `slot_count` data slots of
+// Pslot each. With the paper's defaults (100 slots x 0.05 s + 0.5 s) a
+// period is 5.5 s — exactly the source period, i.e. the source generates
+// one message per period.
+#pragma once
+
+#include <stdexcept>
+
+#include "slpdas/mac/schedule.hpp"
+#include "slpdas/sim/time.hpp"
+
+namespace slpdas::mac {
+
+struct FrameConfig {
+  SlotId slot_count = 100;                          ///< Table I: slots
+  sim::SimTime slot_period = sim::from_seconds(0.05);   ///< Table I: Pslot
+  sim::SimTime dissem_period = sim::from_seconds(0.5);  ///< Table I: Pdiss
+
+  /// Length of one full TDMA period.
+  [[nodiscard]] constexpr sim::SimTime period() const noexcept {
+    return dissem_period + static_cast<sim::SimTime>(slot_count) * slot_period;
+  }
+
+  /// True iff `slot` is a transmittable slot number (1-based, per Table I).
+  [[nodiscard]] constexpr bool valid_slot(SlotId slot) const noexcept {
+    return slot >= 1 && slot <= slot_count;
+  }
+
+  /// Clamps an (possibly refined-below-1) slot into the transmittable
+  /// range. Phase 3 only ever decrements slots, so clamping at 1 preserves
+  /// relative firing order for all in-range slots.
+  [[nodiscard]] constexpr SlotId clamp_slot(SlotId slot) const noexcept {
+    if (slot < 1) return 1;
+    if (slot > slot_count) return slot_count;
+    return slot;
+  }
+
+  /// Offset of the start of `slot` within a period. Throws on out-of-range
+  /// slots; call clamp_slot first when refined slots may underflow.
+  [[nodiscard]] sim::SimTime slot_offset(SlotId slot) const {
+    if (!valid_slot(slot)) {
+      throw std::out_of_range("FrameConfig::slot_offset: slot out of range");
+    }
+    return dissem_period + static_cast<sim::SimTime>(slot - 1) * slot_period;
+  }
+
+  /// Absolute start time of period `period_index` (0-based).
+  [[nodiscard]] constexpr sim::SimTime period_start(
+      std::int64_t period_index) const noexcept {
+    return static_cast<sim::SimTime>(period_index) * period();
+  }
+
+  /// Absolute transmit time for `slot` in period `period_index`.
+  [[nodiscard]] sim::SimTime transmit_time(std::int64_t period_index,
+                                           SlotId slot) const {
+    return period_start(period_index) + slot_offset(slot);
+  }
+
+  /// Period index containing absolute time `at` (0-based; negative times
+  /// are not meaningful and map to period 0).
+  [[nodiscard]] constexpr std::int64_t period_of(sim::SimTime at) const noexcept {
+    return at <= 0 ? 0 : at / period();
+  }
+};
+
+}  // namespace slpdas::mac

@@ -1,0 +1,92 @@
+// Streaming summary statistics (Welford) used by the experiment harness.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace slpdas::metrics {
+
+/// Single-pass mean/variance/min/max accumulator.
+class RunningStats {
+ public:
+  void add(double value) noexcept {
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+    min_ = value < min_ ? value : min_;
+    max_ = value > max_ ? value : max_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept {
+    return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const noexcept {
+    return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+  /// Half-width of the normal-approximation 95% confidence interval.
+  [[nodiscard]] double ci95_half_width() const noexcept {
+    if (count_ < 2) {
+      return 0.0;
+    }
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Bernoulli-proportion accumulator (capture ratios) with a Wilson score
+/// interval, which behaves sensibly near 0% and 100%.
+class ProportionStats {
+ public:
+  void add(bool success) noexcept {
+    ++trials_;
+    successes_ += success ? 1u : 0u;
+  }
+
+  [[nodiscard]] std::uint64_t trials() const noexcept { return trials_; }
+  [[nodiscard]] std::uint64_t successes() const noexcept { return successes_; }
+
+  [[nodiscard]] double ratio() const noexcept {
+    return trials_ == 0
+               ? 0.0
+               : static_cast<double>(successes_) / static_cast<double>(trials_);
+  }
+
+  /// Wilson 95% interval [low, high] on the proportion.
+  [[nodiscard]] std::pair<double, double> wilson95() const noexcept {
+    if (trials_ == 0) {
+      return {0.0, 1.0};
+    }
+    const double z = 1.96;
+    const double n = static_cast<double>(trials_);
+    const double p = ratio();
+    const double denom = 1.0 + z * z / n;
+    const double centre = (p + z * z / (2.0 * n)) / denom;
+    const double margin =
+        z * std::sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n)) / denom;
+    const double low = centre - margin;
+    const double high = centre + margin;
+    return {low < 0.0 ? 0.0 : low, high > 1.0 ? 1.0 : high};
+  }
+
+ private:
+  std::uint64_t trials_ = 0;
+  std::uint64_t successes_ = 0;
+};
+
+}  // namespace slpdas::metrics

@@ -1,0 +1,120 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in this repository (topology placement, radio
+// loss, dissemination jitter, attacker tie-breaking) draws from this
+// generator so that a (seed, configuration) pair fully determines a run.
+// We implement xoshiro256** seeded through SplitMix64 rather than rely on
+// <random> distributions, whose outputs are not specified portably.
+//
+// References: Blackman & Vigna, "Scrambled linear pseudorandom number
+// generators", ACM TOMS 2021.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace slpdas {
+
+/// SplitMix64 step; used to expand a 64-bit seed into xoshiro state and as
+/// a cheap stateless mixer for deriving per-node sub-seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Derives a decorrelated sub-seed, e.g. one stream per node or per run.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t base,
+                                                  std::uint64_t stream) noexcept {
+  std::uint64_t s = base ^ (0x6a09e667f3bcc909ULL + stream * 0x9e3779b97f4a7c15ULL);
+  (void)splitmix64(s);
+  return splitmix64(s);
+}
+
+/// xoshiro256** engine with convenience draws used across the code base.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 1) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = splitmix64(sm);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses
+  /// Lemire-style rejection to avoid modulo bias.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t bound) {
+    if (bound == 0) {
+      throw std::invalid_argument("Rng::uniform: zero bound");
+    }
+    const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+    for (;;) {
+      const std::uint64_t raw = (*this)();
+      if (raw >= threshold) {
+        return raw % bound;
+      }
+    }
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  [[nodiscard]] std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) {
+      throw std::invalid_argument("Rng::uniform_range: lo > hi");
+    }
+    const auto span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform(span));
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability `p` (clamped to [0, 1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform_double() < p;
+  }
+
+  /// Picks a uniformly random element index for a container of `size`
+  /// elements; `size` must be positive.
+  [[nodiscard]] std::size_t pick_index(std::size_t size) {
+    return static_cast<std::size_t>(uniform(size));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace slpdas

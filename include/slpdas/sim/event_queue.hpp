@@ -1,0 +1,69 @@
+// Deterministic discrete-event queue.
+//
+// Events at equal timestamps fire in insertion order (a monotonically
+// increasing sequence number breaks ties), so a run is a pure function of
+// the seed and configuration — the property TOSSIM does not give and the
+// main reason we built our own simulator (DESIGN.md section 2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "slpdas/sim/time.hpp"
+
+namespace slpdas::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Enqueues `action` to fire at absolute time `at`. `at` may equal the
+  /// current head time but must never be in the past relative to the last
+  /// popped event; the Simulator enforces that invariant.
+  void push(SimTime at, Action action) {
+    heap_.push(Entry{at, next_sequence_++, std::move(action)});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Timestamp of the next event; undefined when empty.
+  [[nodiscard]] SimTime next_time() const { return heap_.top().at; }
+
+  /// Removes and returns the next event's action, advancing `now` out-param
+  /// to its timestamp.
+  [[nodiscard]] Action pop(SimTime& now) {
+    // std::priority_queue::top() is const; the action must be moved out, so
+    // we const_cast the (about to be popped) entry. This is safe because the
+    // entry is removed immediately afterwards and never reused.
+    auto& top = const_cast<Entry&>(heap_.top());
+    now = top.at;
+    Action action = std::move(top.action);
+    heap_.pop();
+    return action;
+  }
+
+  void clear() {
+    heap_ = {};
+  }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t sequence;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace slpdas::sim

@@ -1,0 +1,28 @@
+// Base type for all simulated radio messages.
+//
+// Protocol layers (das, slp, attacker probes) derive concrete message
+// structs from Message. The simulator treats messages as opaque immutable
+// payloads shared between all receivers of one broadcast.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace slpdas::sim {
+
+struct Message {
+  virtual ~Message() = default;
+
+  /// Stable message-type name used for per-type overhead accounting
+  /// (e.g. "DISSEM", "SEARCH", "CHANGE", "NORMAL").
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Approximate on-air payload size in bytes, for radio-energy style
+  /// metrics. The default matches a small TinyOS active-message payload.
+  [[nodiscard]] virtual std::size_t wire_size() const noexcept { return 16; }
+};
+
+/// Broadcast payloads are immutable and shared across receivers.
+using MessagePtr = std::shared_ptr<const Message>;
+
+}  // namespace slpdas::sim

@@ -1,0 +1,169 @@
+// The discrete-event WSN simulator (our TOSSIM substitute).
+//
+// One Process per graph node runs a message-passing state machine in the
+// guarded-command style of the paper's Section III: timers model
+// timeout(t) guards, per-process FIFO delivery models the channel variable
+// `ch`, and broadcast() delivers a message to every 1-hop neighbour that
+// the radio model lets through.
+//
+// Determinism: all randomness flows through one seeded Rng, events tie-break
+// by insertion order, and neighbour iteration order is sorted, so a run is
+// fully reproducible from (graph, protocol, seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "slpdas/rng.hpp"
+#include "slpdas/sim/event_queue.hpp"
+#include "slpdas/sim/message.hpp"
+#include "slpdas/sim/radio.hpp"
+#include "slpdas/sim/time.hpp"
+#include "slpdas/wsn/graph.hpp"
+
+namespace slpdas::sim {
+
+class Simulator;
+
+/// Passive observer of every transmission in the network, regardless of
+/// graph adjacency. The attacker runtime plugs in here: an eavesdropper is
+/// not a protocol participant, it just overhears the medium.
+class TransmissionObserver {
+ public:
+  virtual ~TransmissionObserver() = default;
+  virtual void on_transmission(wsn::NodeId from, const Message& message,
+                               SimTime at) = 0;
+};
+
+/// A node's protocol state machine. Derive, implement the handlers, and
+/// register with Simulator::add_process.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  [[nodiscard]] wsn::NodeId id() const noexcept { return id_; }
+
+  /// Called once at simulation start (time 0), before any event fires.
+  virtual void on_start() {}
+  /// Called for every successfully received broadcast, in FIFO order.
+  virtual void on_message(wsn::NodeId from, const Message& message) = 0;
+  /// Called when a timer armed with set_timer(timer_id, ...) fires.
+  virtual void on_timer(int timer_id) { (void)timer_id; }
+
+ protected:
+  /// Broadcasts to all 1-hop neighbours (subject to the radio model).
+  void broadcast(MessagePtr message);
+
+  /// Arms (or re-arms) the named timer to fire `delay` from now. Re-arming
+  /// supersedes any pending expiry of the same timer.
+  void set_timer(int timer_id, SimTime delay);
+
+  /// Disarms the named timer; a no-op if not pending.
+  void cancel_timer(int timer_id);
+
+  [[nodiscard]] SimTime now() const;
+  [[nodiscard]] Rng& rng();
+  [[nodiscard]] const wsn::Graph& graph() const;
+  [[nodiscard]] Simulator& simulator() noexcept { return *simulator_; }
+
+ private:
+  friend class Simulator;
+
+  Simulator* simulator_ = nullptr;
+  wsn::NodeId id_ = wsn::kNoNode;
+  std::unordered_map<int, std::uint64_t> timer_generation_;
+};
+
+/// Per-node traffic counters used for the message-overhead experiment.
+struct TrafficCounters {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class Simulator {
+ public:
+  /// `graph` must outlive the simulator. `radio` decides per-reception
+  /// success; `seed` drives all randomness.
+  Simulator(const wsn::Graph& graph, std::unique_ptr<RadioModel> radio,
+            std::uint64_t seed);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Registers the protocol instance for node `node`. Must be called for
+  /// every node before run(); each node gets exactly one process.
+  void add_process(wsn::NodeId node, std::unique_ptr<Process> process);
+
+  /// Registers a passive eavesdropper; not owned.
+  void add_observer(TransmissionObserver* observer);
+
+  /// Schedules an arbitrary callback `delay` from now (used by harnesses
+  /// for phase changes, e.g. "activate the source at period 80").
+  void call_at(SimTime at, std::function<void()> action);
+  void call_after(SimTime delay, std::function<void()> action);
+
+  /// Runs until the queue drains, `end` is reached, or stop() is called.
+  /// Returns the number of events executed.
+  std::uint64_t run_until(SimTime end);
+
+  /// Executes exactly one event if any is pending and before `end`.
+  bool step(SimTime end);
+
+  /// Stops the run loop after the current event completes.
+  void stop() noexcept { stopped_ = true; }
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] const wsn::Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] RadioModel& radio() noexcept { return *radio_; }
+
+  [[nodiscard]] Process& process(wsn::NodeId node);
+  [[nodiscard]] const Process& process(wsn::NodeId node) const;
+
+  /// Traffic counters for node `node` (all message types combined).
+  [[nodiscard]] const TrafficCounters& traffic(wsn::NodeId node) const;
+  /// Total messages sent, by message-type name.
+  [[nodiscard]] const std::unordered_map<std::string, std::uint64_t>&
+  sends_by_type() const noexcept {
+    return sends_by_type_;
+  }
+  [[nodiscard]] std::uint64_t total_sent() const noexcept { return total_sent_; }
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return events_executed_;
+  }
+
+  /// One-way propagation + processing latency applied to every delivery.
+  /// Small relative to the 50 ms slot period; configurable for tests.
+  void set_propagation_delay(SimTime delay);
+  [[nodiscard]] SimTime propagation_delay() const noexcept {
+    return propagation_delay_;
+  }
+
+ private:
+  friend class Process;
+
+  void do_broadcast(wsn::NodeId from, MessagePtr message);
+
+  const wsn::Graph& graph_;
+  std::unique_ptr<RadioModel> radio_;
+  Rng rng_;
+  EventQueue queue_;
+  SimTime now_ = 0;
+  SimTime propagation_delay_ = kMillisecond;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::uint64_t events_executed_ = 0;
+  std::uint64_t total_sent_ = 0;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<TrafficCounters> traffic_;
+  std::vector<TransmissionObserver*> observers_;
+  std::unordered_map<std::string, std::uint64_t> sends_by_type_;
+};
+
+}  // namespace slpdas::sim

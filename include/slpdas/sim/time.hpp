@@ -1,0 +1,32 @@
+// Simulated time.
+//
+// Simulation time is a signed 64-bit count of microseconds. The paper's
+// timing constants (Table I) are fractions of a second (slot period 0.05 s,
+// dissemination period 0.5 s, source period 5.5 s), all exactly
+// representable in microseconds.
+#pragma once
+
+#include <cstdint>
+
+namespace slpdas::sim {
+
+/// Simulated time in microseconds since the start of the run.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Converts seconds (possibly fractional) to SimTime, rounding to the
+/// nearest microsecond.
+[[nodiscard]] constexpr SimTime from_seconds(double seconds) noexcept {
+  const double micros = seconds * 1e6;
+  return static_cast<SimTime>(micros >= 0 ? micros + 0.5 : micros - 0.5);
+}
+
+/// Converts SimTime to (fractional) seconds for reporting.
+[[nodiscard]] constexpr double to_seconds(SimTime time) noexcept {
+  return static_cast<double>(time) / 1e6;
+}
+
+}  // namespace slpdas::sim

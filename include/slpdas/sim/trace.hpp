@@ -1,0 +1,66 @@
+// Transmission trace recording.
+//
+// A TraceRecorder is a passive TransmissionObserver that logs every
+// broadcast (time, sender, message type, period). Used by tests to assert
+// on protocol timing (who transmitted in which slot), by examples to dump
+// runs for offline analysis, and by debugging sessions to diff two seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "slpdas/mac/frame.hpp"
+#include "slpdas/sim/simulator.hpp"
+
+namespace slpdas::sim {
+
+struct TraceEntry {
+  SimTime at = 0;
+  wsn::NodeId sender = wsn::kNoNode;
+  std::string type;           ///< Message::name()
+  std::int64_t period = 0;    ///< TDMA period index containing `at`
+  mac::SlotId slot = 0;       ///< slot index containing `at` (0 = dissem window)
+};
+
+class TraceRecorder final : public TransmissionObserver {
+ public:
+  /// Records transmissions tagged with `frame`'s period/slot geometry.
+  /// Register with Simulator::add_observer; must outlive the run.
+  explicit TraceRecorder(const mac::FrameConfig& frame) : frame_(frame) {}
+
+  /// Restrict recording to one message type (e.g. "NORMAL"); empty = all.
+  void set_type_filter(std::string type) { type_filter_ = std::move(type); }
+
+  /// Drop entries before this time (e.g. record only the data phase).
+  void set_start_time(SimTime at) noexcept { start_time_ = at; }
+
+  void on_transmission(wsn::NodeId from, const Message& message,
+                       SimTime at) override;
+
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  void clear() noexcept { entries_.clear(); }
+
+  /// Entries from one period, in transmission order.
+  [[nodiscard]] std::vector<TraceEntry> period_slice(std::int64_t period) const;
+
+  /// Transmissions per sender, over the whole trace.
+  [[nodiscard]] std::vector<std::uint64_t> sends_per_node(
+      wsn::NodeId node_count) const;
+
+  /// CSV dump: at_us,sender,type,period,slot.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  mac::FrameConfig frame_;
+  std::string type_filter_;
+  SimTime start_time_ = 0;
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace slpdas::sim

@@ -1,0 +1,114 @@
+// SLP-aware DAS — the paper's full 3-phase protocol.
+//
+// Extends the Phase 1 protectionless protocol (das::ProtectionlessDas) with:
+//
+//  * Phase 2, node locator (paper Figure 3): after setup has stabilised the
+//    sink launches a SEARCH that walks `search_distance` (SD) hops along
+//    minimum-slot children — exactly the gradient a message-tracing
+//    attacker descends — to find a redirection node that still has a spare
+//    potential parent.
+//  * Phase 3, slot refinement (paper Figure 4): the redirection node grows
+//    a decoy path of up to `change_length` (CL) nodes away from both its
+//    true parent and the direction the search came from. Every decoy node
+//    adopts a slot one below the minimum in its predecessor's
+//    neighbourhood, so the decoy always fires first and the attacker is
+//    lured down a dead end. Downstream DAS repair (Normal := 0 updates) is
+//    inherited from Phase 1.
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "slpdas/das/protocol.hpp"
+
+namespace slpdas::slp {
+
+/// Parameters of the SLP extension (paper Table I, "SLP DAS" block).
+struct SlpConfig {
+  das::DasConfig das{};
+
+  /// SD: hops the SEARCH walks away from the sink (paper: 3 or 5).
+  int search_distance = 3;
+
+  /// CL: maximum decoy path length. Table I sets CL = Delta_ss - SD where
+  /// Delta_ss is the source-sink hop distance; core::Parameters computes
+  /// that for a given topology.
+  int change_length = 5;
+
+  /// Period in which the sink launches Phase 2. Must lie after slot
+  /// assignment has stabilised and before the data phase (MSP).
+  int search_start_period = 40;
+
+  /// The sink repeats the SEARCH this many consecutive periods, making the
+  /// locator robust to control-message loss (the paper sends once over an
+  /// ideal radio; retries only matter under lossy models).
+  int search_retries = 2;
+
+  /// Per-node cap on SEARCH forwards, bounding the "keep searching" branch
+  /// of Figure 3 on pathological topologies.
+  int search_forward_budget = 6;
+};
+
+class SlpDas final : public das::ProtectionlessDas {
+ public:
+  SlpDas(const SlpConfig& config, wsn::NodeId sink, wsn::NodeId source);
+
+  /// True if this node became the redirection start node (Figure 3's
+  /// startNode flag).
+  [[nodiscard]] bool is_redirection_start() const noexcept {
+    return became_start_node_;
+  }
+  /// True if this node joined the decoy path in Phase 3.
+  [[nodiscard]] bool on_decoy_path() const noexcept { return on_decoy_path_; }
+  [[nodiscard]] const SlpConfig& slp_config() const noexcept { return slp_; }
+
+  void on_timer(int timer_id) override;
+
+ protected:
+  void on_period_start(int period_index) override;
+  void on_other_message(wsn::NodeId from, const sim::Message& message) override;
+
+ private:
+  enum SlpTimer : int {
+    kSearchLaunchTimer = kFirstDerivedTimer,
+  };
+
+  void launch_search();  // Figure 3 startS::
+  void handle_search(wsn::NodeId from, const das::SearchMessage& message);
+  void handle_change(wsn::NodeId from, const das::ChangeMessage& message);
+  void start_refinement();  // Figure 4 startR::
+
+  /// Minimum-slot child per Figures 3/4 (ties broken by id). Empty when no
+  /// children are known.
+  [[nodiscard]] std::optional<wsn::NodeId> min_slot_child() const;
+
+  /// Uniformly random element of `candidates` (the paper's choose());
+  /// std::nullopt when empty.
+  [[nodiscard]] std::optional<wsn::NodeId> choose(
+      const std::set<wsn::NodeId>& candidates);
+
+  SlpConfig slp_;
+  std::set<wsn::NodeId> from_;  // Figure 3's `from` set
+  bool became_start_node_ = false;
+  bool refinement_started_ = false;
+  bool on_decoy_path_ = false;
+  int searches_launched_ = 0;
+  int searches_forwarded_ = 0;
+};
+
+/// The refinement outcome of a finished SLP DAS run, read back from the
+/// simulator's processes.
+struct DecoySummary {
+  /// Redirection start nodes (Figure 3's startNode flag holders).
+  std::vector<wsn::NodeId> start_nodes;
+  /// Decoy-path members ordered head-to-tail (descending slot: Phase 3
+  /// hands out strictly decreasing slots along the path).
+  std::vector<wsn::NodeId> decoy_path;
+
+  [[nodiscard]] bool refined() const noexcept { return !decoy_path.empty(); }
+};
+
+/// Collects the decoy layout from a simulator whose processes are SlpDas.
+[[nodiscard]] DecoySummary extract_decoy(const sim::Simulator& simulator);
+
+}  // namespace slpdas::slp

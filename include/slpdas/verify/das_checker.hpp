@@ -1,0 +1,70 @@
+// Checkers for the paper's schedule validity definitions.
+//
+//  * Definition 1 (non-colliding slot): slot i is non-colliding for node n
+//    iff no node in the 2-hop neighbourhood CG(n) holds slot i.
+//  * Definition 2 (strong DAS): sender sets partition V \ {S}; for every
+//    non-final sender n, EVERY neighbour m on a shortest path n-m-...-S
+//    transmits strictly later (or is the sink); same-slot senders are
+//    never within two hops of each other.
+//  * Definition 3 (weak DAS): as strong, but only SOME neighbour with a
+//    path to the sink must transmit later (or be the sink).
+//
+// Checkers return a full violation list rather than a bare bool so tests
+// and the examples can explain exactly which constraint broke and where.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "slpdas/mac/schedule.hpp"
+#include "slpdas/wsn/graph.hpp"
+
+namespace slpdas::verify {
+
+/// Which formal constraint a violation breaks.
+enum class ViolationKind {
+  kUnassignedNode,   ///< Def 2/3 cond. 2: non-sink node without a slot
+  kSlotCollision,    ///< Def 1 / cond. 4: equal slots within two hops
+  kOrderViolation,   ///< Def 2 cond. 3: a shortest-path neighbour fires earlier
+  kNoLaterParent,    ///< Def 3 cond. 3: no neighbour fires later (nor sink)
+};
+
+[[nodiscard]] const char* to_string(ViolationKind kind) noexcept;
+
+struct Violation {
+  ViolationKind kind;
+  wsn::NodeId node = wsn::kNoNode;   ///< offending node
+  wsn::NodeId other = wsn::kNoNode;  ///< counterpart (collision peer / earlier parent)
+  std::string detail;                ///< human-readable explanation
+};
+
+struct CheckResult {
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Definition 1 applied to every assigned node: no two nodes within two
+/// hops of each other share a slot. The sink is exempt (it never transmits
+/// data; its slot value only anchors the assignment).
+[[nodiscard]] CheckResult check_noncolliding(const wsn::Graph& graph,
+                                             const mac::Schedule& schedule,
+                                             wsn::NodeId sink);
+
+/// Definition 1 for a single node.
+[[nodiscard]] bool is_noncolliding(const wsn::Graph& graph,
+                                   const mac::Schedule& schedule,
+                                   wsn::NodeId node, wsn::NodeId sink);
+
+/// Definition 2 (strong DAS). `graph` must be connected.
+[[nodiscard]] CheckResult check_strong_das(const wsn::Graph& graph,
+                                           const mac::Schedule& schedule,
+                                           wsn::NodeId sink);
+
+/// Definition 3 (weak DAS). `graph` must be connected.
+[[nodiscard]] CheckResult check_weak_das(const wsn::Graph& graph,
+                                         const mac::Schedule& schedule,
+                                         wsn::NodeId sink);
+
+}  // namespace slpdas::verify

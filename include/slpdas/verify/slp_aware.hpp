@@ -1,0 +1,60 @@
+// Definition 5 — strong (resp. weak) SLP-aware DAS.
+//
+// A schedule Fs is a strong (resp. weak) SLP-aware DAS for source S
+// against attacker A iff
+//   (1) Fs is a strong (resp. weak) DAS, and
+//   (2) the capture time of Fs exceeds that of a reference DAS F
+//       (delta^G_{Fs,A} > delta^G_{F,A}).
+//
+// This header packages that comparison: it runs the Definition 2/3
+// checkers on the candidate and computes both schedules' minimum capture
+// periods (Definition 4) under Algorithm 1's trace semantics.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "slpdas/mac/schedule.hpp"
+#include "slpdas/verify/verify_schedule.hpp"
+#include "slpdas/wsn/graph.hpp"
+
+namespace slpdas::verify {
+
+struct SlpAwareness {
+  bool candidate_is_weak_das = false;
+  bool candidate_is_strong_das = false;
+  /// Minimum periods for A to capture S under the candidate / baseline;
+  /// nullopt = no capture within the analysis cap.
+  std::optional<int> candidate_capture_period;
+  std::optional<int> baseline_capture_period;
+  int period_cap = 0;
+
+  /// Condition 2 of Definition 5: candidate strictly outlasts baseline
+  /// (nullopt counts as "longer than any bounded capture").
+  [[nodiscard]] bool delays_attacker() const noexcept {
+    if (!candidate_capture_period) {
+      return baseline_capture_period.has_value();
+    }
+    return baseline_capture_period &&
+           *candidate_capture_period > *baseline_capture_period;
+  }
+
+  [[nodiscard]] bool weak_slp_aware() const noexcept {
+    return candidate_is_weak_das && delays_attacker();
+  }
+  [[nodiscard]] bool strong_slp_aware() const noexcept {
+    return candidate_is_strong_das && delays_attacker();
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Evaluates Definition 5 for `candidate` against `baseline`. `period_cap`
+/// bounds the capture-time search (use something comfortably above the
+/// safety period; captures beyond the cap count as "never").
+[[nodiscard]] SlpAwareness check_slp_aware_das(
+    const wsn::Graph& graph, const mac::Schedule& candidate,
+    const mac::Schedule& baseline, const VerifyAttacker& attacker,
+    wsn::NodeId source, wsn::NodeId sink, int period_cap);
+
+}  // namespace slpdas::verify

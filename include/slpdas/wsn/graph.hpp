@@ -1,0 +1,82 @@
+// Undirected graph model of a wireless sensor network.
+//
+// The paper (Section III-A) models a WSN as an undirected graph G = (V, E):
+// vertices are sensor nodes, edges are bidirectional communication links.
+// Definition 1 (non-colliding slot) additionally needs the 2-hop
+// neighbourhood CG(n): every node reachable in at most two hops, excluding
+// n itself.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace slpdas::wsn {
+
+/// Identifier of a WSN node. Nodes of a graph with n vertices are always
+/// numbered 0 .. n-1.
+using NodeId = std::int32_t;
+
+/// Sentinel for "no node" (unassigned parent, unreached vertex, ...).
+inline constexpr NodeId kNoNode = -1;
+
+/// An undirected graph with a fixed vertex set and growable edge set.
+///
+/// Adjacency lists are kept sorted so that neighbour iteration order is
+/// deterministic, which keeps every simulation and schedule reproducible
+/// for a given seed.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates a graph with `node_count` vertices and no edges.
+  explicit Graph(NodeId node_count);
+
+  /// Number of vertices.
+  [[nodiscard]] NodeId node_count() const noexcept {
+    return static_cast<NodeId>(adjacency_.size());
+  }
+
+  /// Number of undirected edges.
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// True iff `node` is a valid vertex id of this graph.
+  [[nodiscard]] bool contains(NodeId node) const noexcept {
+    return node >= 0 && node < node_count();
+  }
+
+  /// Adds the undirected edge {a, b}. Self loops and duplicate edges are
+  /// rejected with std::invalid_argument, as neither occurs in a WSN link
+  /// graph.
+  void add_edge(NodeId a, NodeId b);
+
+  /// True iff {a, b} is an edge.
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
+
+  /// Sorted 1-hop neighbourhood of `node`.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId node) const;
+
+  /// Degree of `node`.
+  [[nodiscard]] std::size_t degree(NodeId node) const {
+    return neighbors(node).size();
+  }
+
+  /// CG(n) from Definition 1: the sorted set of nodes within two hops of
+  /// `node`, excluding `node` itself.
+  [[nodiscard]] std::vector<NodeId> two_hop_neighborhood(NodeId node) const;
+
+  /// All vertex ids 0 .. node_count()-1 (convenience for range-for loops).
+  [[nodiscard]] std::vector<NodeId> nodes() const;
+
+  /// Human-readable summary, e.g. "Graph(V=121, E=220)".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void check_node(NodeId node) const;
+
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace slpdas::wsn

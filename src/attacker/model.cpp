@@ -1,0 +1,100 @@
+#include "slpdas/attacker/model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace slpdas::attacker {
+
+wsn::NodeId FirstHeardD::decide(const std::vector<HeardMessage>& messages,
+                                const std::deque<wsn::NodeId>& history,
+                                Rng& rng) {
+  (void)history;
+  (void)rng;
+  return messages.empty() ? wsn::kNoNode : messages.front().sender;
+}
+
+wsn::NodeId MinSlotD::decide(const std::vector<HeardMessage>& messages,
+                             const std::deque<wsn::NodeId>& history, Rng& rng) {
+  (void)history;
+  (void)rng;
+  if (messages.empty()) {
+    return wsn::kNoNode;
+  }
+  const auto it = std::min_element(
+      messages.begin(), messages.end(),
+      [](const HeardMessage& a, const HeardMessage& b) {
+        if (a.sender_slot != b.sender_slot) return a.sender_slot < b.sender_slot;
+        return a.sender < b.sender;
+      });
+  return it->sender;
+}
+
+wsn::NodeId HistoryAvoidingD::decide(const std::vector<HeardMessage>& messages,
+                                     const std::deque<wsn::NodeId>& history,
+                                     Rng& rng) {
+  (void)rng;
+  if (messages.empty()) {
+    return wsn::kNoNode;
+  }
+  std::vector<HeardMessage> fresh;
+  fresh.reserve(messages.size());
+  for (const HeardMessage& message : messages) {
+    if (std::find(history.begin(), history.end(), message.sender) ==
+        history.end()) {
+      fresh.push_back(message);
+    }
+  }
+  const auto& pool = fresh.empty() ? messages : fresh;
+  const auto it = std::min_element(
+      pool.begin(), pool.end(), [](const HeardMessage& a, const HeardMessage& b) {
+        if (a.sender_slot != b.sender_slot) return a.sender_slot < b.sender_slot;
+        return a.sender < b.sender;
+      });
+  return it->sender;
+}
+
+wsn::NodeId RandomChoiceD::decide(const std::vector<HeardMessage>& messages,
+                                  const std::deque<wsn::NodeId>& history,
+                                  Rng& rng) {
+  (void)history;
+  if (messages.empty()) {
+    return wsn::kNoNode;
+  }
+  return messages[rng.pick_index(messages.size())].sender;
+}
+
+std::unique_ptr<DecisionFunction> make_first_heard() {
+  return std::make_unique<FirstHeardD>();
+}
+std::unique_ptr<DecisionFunction> make_min_slot() {
+  return std::make_unique<MinSlotD>();
+}
+std::unique_ptr<DecisionFunction> make_history_avoiding() {
+  return std::make_unique<HistoryAvoidingD>();
+}
+std::unique_ptr<DecisionFunction> make_random_choice() {
+  return std::make_unique<RandomChoiceD>();
+}
+
+void AttackerParams::validate_and_default() {
+  if (messages_per_move < 1) {
+    throw std::invalid_argument("AttackerParams: R must be >= 1");
+  }
+  if (history_size < 0) {
+    throw std::invalid_argument("AttackerParams: H must be >= 0");
+  }
+  if (moves_per_period < 1) {
+    throw std::invalid_argument("AttackerParams: M must be >= 1");
+  }
+  if (!decision) {
+    decision = make_first_heard();
+  }
+}
+
+std::string AttackerParams::label() const {
+  return "(" + std::to_string(messages_per_move) + "," +
+         std::to_string(history_size) + "," + std::to_string(moves_per_period) +
+         ")-" + (decision ? decision->name() : "first-heard");
+}
+
+}  // namespace slpdas::attacker

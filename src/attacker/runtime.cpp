@@ -1,0 +1,116 @@
+#include "slpdas/attacker/runtime.hpp"
+
+#include <stdexcept>
+
+namespace slpdas::attacker {
+
+AttackerRuntime::AttackerRuntime(sim::Simulator& simulator,
+                                 const mac::FrameConfig& frame,
+                                 AttackerParams params, wsn::NodeId source)
+    : simulator_(simulator),
+      frame_(frame),
+      params_(std::move(params)),
+      source_(source) {
+  params_.validate_and_default();
+  if (params_.start == wsn::kNoNode || !simulator.graph().contains(params_.start)) {
+    throw std::invalid_argument("AttackerRuntime: invalid start location");
+  }
+  if (!simulator.graph().contains(source)) {
+    throw std::invalid_argument("AttackerRuntime: invalid source");
+  }
+  location_ = params_.start;
+  simulator.add_observer(this);
+}
+
+void AttackerRuntime::activate(sim::SimTime at) {
+  active_ = true;
+  activated_at_ = at;
+  trail_.clear();
+  trail_.push_back(location_);
+  messages_.clear();
+  moves_this_period_ = 0;
+  current_period_ = -1;
+}
+
+void AttackerRuntime::roll_period(sim::SimTime at) {
+  // NextP:: in Figure 1 — the attacker knows the period length and resets
+  // its per-period message buffer and move budget at every boundary.
+  const std::int64_t period = frame_.period_of(at);
+  if (period != current_period_) {
+    current_period_ = period;
+    messages_.clear();
+    moves_this_period_ = 0;
+  }
+}
+
+void AttackerRuntime::on_transmission(wsn::NodeId from,
+                                      const sim::Message& message,
+                                      sim::SimTime at) {
+  if (!active_ || captured_ || at < activated_at_) {
+    return;
+  }
+  // The eavesdropper traces data traffic only (by message-type name, so it
+  // works against any protocol whose payload traffic is labelled NORMAL).
+  if (traced_type_ != message.name()) {
+    return;
+  }
+  roll_period(at);
+
+  // Audibility: co-located or 1-hop from the current location, through the
+  // same radio model as any other receiver.
+  const bool audible =
+      from == location_ || simulator_.graph().has_edge(from, location_);
+  if (!audible) {
+    return;
+  }
+  if (from != location_ &&
+      !simulator_.radio().delivered(from, location_, at, simulator_.rng())) {
+    return;
+  }
+
+  // ARcv:: — buffer up to R messages.
+  if (static_cast<int>(messages_.size()) < params_.messages_per_move) {
+    mac::SlotId sender_slot = mac::kNoSlot;
+    // The sender's slot is observable from the arrival time within the
+    // period (the attacker knows the frame layout).
+    const sim::SimTime offset = at - frame_.period_start(frame_.period_of(at));
+    if (offset >= frame_.dissem_period) {
+      sender_slot = static_cast<mac::SlotId>(
+          (offset - frame_.dissem_period) / frame_.slot_period + 1);
+    }
+    messages_.push_back(HeardMessage{from, sender_slot});
+  }
+  maybe_decide();
+}
+
+void AttackerRuntime::maybe_decide() {
+  // Decide:: — once R messages are buffered and the move budget allows,
+  // relocate to D(msgs, history).
+  if (static_cast<int>(messages_.size()) < params_.messages_per_move ||
+      moves_this_period_ >= params_.moves_per_period) {
+    return;
+  }
+  const wsn::NodeId next =
+      params_.decision->decide(messages_, history_, simulator_.rng());
+  messages_.clear();
+  if (next == wsn::kNoNode || next == location_) {
+    return;
+  }
+  if (params_.history_size > 0) {
+    history_.push_back(location_);
+    while (static_cast<int>(history_.size()) > params_.history_size) {
+      history_.pop_front();
+    }
+  }
+  location_ = next;
+  ++moves_this_period_;
+  trail_.push_back(location_);
+  if (location_ == source_) {
+    captured_ = simulator_.now();
+    if (stop_on_capture_) {
+      simulator_.stop();
+    }
+  }
+}
+
+}  // namespace slpdas::attacker

@@ -1,0 +1,282 @@
+#include "slpdas/core/experiment.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "slpdas/attacker/runtime.hpp"
+#include "slpdas/phantom/phantom_routing.hpp"
+#include "slpdas/rng.hpp"
+#include "slpdas/verify/das_checker.hpp"
+#include "slpdas/verify/safety_period.hpp"
+
+namespace slpdas::core {
+
+const char* to_string(ProtocolKind kind) noexcept {
+  switch (kind) {
+    case ProtocolKind::kProtectionlessDas:
+      return "protectionless-das";
+    case ProtocolKind::kSlpDas:
+      return "slp-das";
+    case ProtocolKind::kPhantomRouting:
+      return "phantom-routing";
+  }
+  return "unknown";
+}
+
+const char* to_string(RadioKind kind) noexcept {
+  switch (kind) {
+    case RadioKind::kIdeal:
+      return "ideal";
+    case RadioKind::kLossy:
+      return "lossy";
+    case RadioKind::kCasinoLab:
+      return "casino-lab";
+  }
+  return "unknown";
+}
+
+attacker::AttackerParams AttackerSpec::build(wsn::NodeId start) const {
+  attacker::AttackerParams params;
+  params.messages_per_move = messages_per_move;
+  params.history_size = history_size;
+  params.moves_per_period = moves_per_period;
+  params.start = start;
+  switch (decision) {
+    case Decision::kFirstHeard:
+      params.decision = attacker::make_first_heard();
+      break;
+    case Decision::kMinSlot:
+      params.decision = attacker::make_min_slot();
+      break;
+    case Decision::kHistoryAvoiding:
+      params.decision = attacker::make_history_avoiding();
+      break;
+    case Decision::kRandom:
+      params.decision = attacker::make_random_choice();
+      break;
+  }
+  params.validate_and_default();
+  return params;
+}
+
+std::string AttackerSpec::label() const {
+  const char* d = "first-heard";
+  switch (decision) {
+    case Decision::kFirstHeard:
+      d = "first-heard";
+      break;
+    case Decision::kMinSlot:
+      d = "min-slot";
+      break;
+    case Decision::kHistoryAvoiding:
+      d = "history-avoiding";
+      break;
+    case Decision::kRandom:
+      d = "random";
+      break;
+  }
+  return "(" + std::to_string(messages_per_move) + "," +
+         std::to_string(history_size) + "," + std::to_string(moves_per_period) +
+         ")-" + d;
+}
+
+namespace {
+
+std::unique_ptr<sim::RadioModel> make_radio(const ExperimentConfig& config) {
+  switch (config.radio) {
+    case RadioKind::kIdeal:
+      return sim::make_ideal_radio();
+    case RadioKind::kLossy:
+      return sim::make_lossy_radio(config.loss_probability);
+    case RadioKind::kCasinoLab:
+      return sim::make_casino_lab_noise(config.casino);
+  }
+  throw std::invalid_argument("make_radio: unknown radio kind");
+}
+
+}  // namespace
+
+RunResult run_single(const ExperimentConfig& config, std::uint64_t seed) {
+  const wsn::Topology& topology = config.topology;
+  const wsn::Graph& graph = topology.graph;
+  if (!graph.contains(topology.source) || !graph.contains(topology.sink) ||
+      topology.source == topology.sink) {
+    throw std::invalid_argument("run_single: invalid source/sink");
+  }
+
+  sim::Simulator simulator(graph, make_radio(config), seed);
+
+  const das::DasConfig das_config = config.parameters.das_config();
+  const bool is_phantom = config.protocol == ProtocolKind::kPhantomRouting;
+  const slp::SlpConfig slp_config =
+      config.protocol == ProtocolKind::kSlpDas
+          ? config.parameters.slp_config(topology)
+          : slp::SlpConfig{};
+  phantom::PhantomConfig phantom_config;
+  phantom_config.period = das_config.period();
+  phantom_config.hello_periods = das_config.neighbor_discovery_periods;
+  phantom_config.setup_periods = das_config.minimum_setup_periods;
+  phantom_config.walk_length = config.phantom_walk_length;
+  for (wsn::NodeId node = 0; node < graph.node_count(); ++node) {
+    switch (config.protocol) {
+      case ProtocolKind::kSlpDas:
+        simulator.add_process(node, std::make_unique<slp::SlpDas>(
+                                        slp_config, topology.sink,
+                                        topology.source));
+        break;
+      case ProtocolKind::kPhantomRouting:
+        simulator.add_process(node, std::make_unique<phantom::PhantomRouting>(
+                                        phantom_config, topology.sink,
+                                        topology.source));
+        break;
+      case ProtocolKind::kProtectionlessDas:
+        simulator.add_process(node, std::make_unique<das::ProtectionlessDas>(
+                                        das_config, topology.sink,
+                                        topology.source));
+        break;
+    }
+  }
+
+  attacker::AttackerRuntime eavesdropper(
+      simulator, das_config.frame, config.attacker.build(topology.sink),
+      topology.source);
+
+  // ---- setup phase: periods [0, MSP) --------------------------------------
+  const sim::SimTime period = das_config.period();
+  const sim::SimTime activation =
+      static_cast<sim::SimTime>(das_config.minimum_setup_periods) * period;
+  simulator.run_until(activation);
+
+  RunResult result;
+  if (!is_phantom) {
+    const mac::Schedule schedule = das::extract_schedule(simulator);
+    result.schedule_complete = schedule.complete();
+    if (config.check_schedules) {
+      result.weak_das_ok =
+          verify::check_weak_das(graph, schedule, topology.sink).ok();
+      result.strong_das_ok =
+          verify::check_strong_das(graph, schedule, topology.sink).ok();
+    }
+  }
+  // ---- data phase + attacker ----------------------------------------------
+  const verify::SafetyPeriod safety = verify::compute_safety_period(
+      graph, topology.source, topology.sink, config.parameters.safety_factor);
+  result.safety_periods = safety.periods;
+  result.source_sink_distance = safety.source_sink_distance;
+
+  eavesdropper.activate(activation);
+  const sim::SimTime safety_end =
+      activation + safety.duration(das_config.frame);
+  const sim::SimTime upper_bound =
+      activation + config.parameters.upper_time_bound(graph.node_count());
+  simulator.run_until(std::min(safety_end, upper_bound));
+
+  if (eavesdropper.captured() && *eavesdropper.capture_time() <= safety_end) {
+    result.captured = true;
+    result.capture_time_s =
+        sim::to_seconds(*eavesdropper.capture_time() - activation);
+  }
+  result.attacker_moves = eavesdropper.moves_made();
+
+  // ---- metrics --------------------------------------------------------------
+  const auto& by_type = simulator.sends_by_type();
+  const auto lookup = [&by_type](const char* name) -> double {
+    const auto it = by_type.find(name);
+    return it == by_type.end() ? 0.0 : static_cast<double>(it->second);
+  };
+  const auto node_count = static_cast<double>(graph.node_count());
+  result.normal_messages_per_node = lookup("NORMAL") / node_count;
+  result.control_messages_per_node =
+      (lookup("HELLO") + lookup("DISSEM") + lookup("SEARCH") +
+       lookup("CHANGE") + lookup("BEACON")) /
+      node_count;
+
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  double latency_s = 0.0;
+  if (is_phantom) {
+    const auto& source_process = dynamic_cast<const phantom::PhantomRouting&>(
+        simulator.process(topology.source));
+    const auto& sink_process = dynamic_cast<const phantom::PhantomRouting&>(
+        simulator.process(topology.sink));
+    generated = source_process.generated_count();
+    delivered = sink_process.delivered_count();
+    latency_s = sink_process.mean_delivery_latency_s();
+  } else {
+    const auto& source_process = dynamic_cast<const das::ProtectionlessDas&>(
+        simulator.process(topology.source));
+    const auto& sink_process = dynamic_cast<const das::ProtectionlessDas&>(
+        simulator.process(topology.sink));
+    generated = source_process.generated_count();
+    delivered = sink_process.delivered_count();
+    latency_s = sink_process.mean_delivery_latency_s();
+  }
+  if (generated > 0) {
+    result.delivery_ratio =
+        static_cast<double>(delivered) / static_cast<double>(generated);
+    result.delivery_latency_s = latency_s;
+  }
+  return result;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  if (config.runs < 1) {
+    throw std::invalid_argument("run_experiment: runs must be >= 1");
+  }
+  ExperimentResult aggregate;
+  aggregate.runs = config.runs;
+
+  std::mutex mutex;
+  std::atomic<int> next_run{0};
+  auto worker = [&] {
+    for (;;) {
+      const int run_index = next_run.fetch_add(1);
+      if (run_index >= config.runs) {
+        return;
+      }
+      const std::uint64_t seed =
+          derive_seed(config.base_seed, static_cast<std::uint64_t>(run_index));
+      const RunResult run = run_single(config, seed);
+      const std::scoped_lock lock(mutex);
+      aggregate.capture.add(run.captured);
+      if (run.capture_time_s) {
+        aggregate.capture_time_s.add(*run.capture_time_s);
+      }
+      aggregate.delivery_ratio.add(run.delivery_ratio);
+      aggregate.delivery_latency_s.add(run.delivery_latency_s);
+      aggregate.control_messages_per_node.add(run.control_messages_per_node);
+      aggregate.normal_messages_per_node.add(run.normal_messages_per_node);
+      aggregate.attacker_moves.add(run.attacker_moves);
+      aggregate.schedule_incomplete_runs += run.schedule_complete ? 0 : 1;
+      if (config.check_schedules) {
+        aggregate.weak_das_failures += run.weak_das_ok ? 0 : 1;
+        aggregate.strong_das_failures += run.strong_das_ok ? 0 : 1;
+      }
+    }
+  };
+
+  int thread_count = config.threads;
+  if (thread_count <= 0) {
+    thread_count = static_cast<int>(std::thread::hardware_concurrency());
+    if (thread_count <= 0) {
+      thread_count = 4;
+    }
+  }
+  thread_count = std::min(thread_count, config.runs);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(thread_count));
+  for (int i = 0; i < thread_count; ++i) {
+    threads.emplace_back(worker);
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  return aggregate;
+}
+
+}  // namespace slpdas::core

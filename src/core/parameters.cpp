@@ -1,0 +1,61 @@
+#include "slpdas/core/parameters.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace slpdas::core {
+
+mac::FrameConfig Parameters::frame() const {
+  if (slots < 1 || slot_period_s <= 0.0 || dissem_period_s <= 0.0) {
+    throw std::invalid_argument("Parameters: invalid frame values");
+  }
+  mac::FrameConfig config;
+  config.slot_count = slots;
+  config.slot_period = sim::from_seconds(slot_period_s);
+  config.dissem_period = sim::from_seconds(dissem_period_s);
+  return config;
+}
+
+das::DasConfig Parameters::das_config() const {
+  das::DasConfig config;
+  config.frame = frame();
+  config.neighbor_discovery_periods = neighbor_discovery_periods;
+  config.dissemination_timeout = dissemination_timeout;
+  config.minimum_setup_periods = minimum_setup_periods;
+  config.sink_slot = slots;
+  return config;
+}
+
+int Parameters::resolved_change_length(const wsn::Topology& topology) const {
+  if (change_length) {
+    if (*change_length < 1) {
+      throw std::invalid_argument("Parameters: change_length must be >= 1");
+    }
+    return *change_length;
+  }
+  const int source_sink =
+      wsn::hop_distance(topology.graph, topology.source, topology.sink);
+  if (source_sink == wsn::kUnreachable) {
+    throw std::invalid_argument("Parameters: source and sink disconnected");
+  }
+  // Table I: CL = Delta_ss - SD, floored at 1 for tiny topologies.
+  return std::max(1, source_sink - search_distance);
+}
+
+slp::SlpConfig Parameters::slp_config(const wsn::Topology& topology) const {
+  slp::SlpConfig config;
+  config.das = das_config();
+  config.search_distance = search_distance;
+  config.change_length = resolved_change_length(topology);
+  config.search_start_period =
+      search_start_period.value_or(minimum_setup_periods / 2);
+  return config;
+}
+
+sim::SimTime Parameters::upper_time_bound(int node_count) const {
+  return static_cast<sim::SimTime>(static_cast<double>(node_count) *
+                                   source_period_s * sim_bound_multiplier *
+                                   1e6);
+}
+
+}  // namespace slpdas::core

@@ -1,0 +1,82 @@
+#include "slpdas/das/centralized.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "slpdas/wsn/paths.hpp"
+
+namespace slpdas::das {
+
+CentralizedResult build_centralized_das(const wsn::Graph& graph,
+                                        wsn::NodeId sink,
+                                        mac::SlotId sink_slot) {
+  if (!graph.contains(sink)) {
+    throw std::out_of_range("build_centralized_das: sink out of range");
+  }
+  const auto distance = wsn::bfs_distances(graph, sink);
+  if (std::any_of(distance.begin(), distance.end(),
+                  [](int d) { return d == wsn::kUnreachable; })) {
+    throw std::invalid_argument("build_centralized_das: graph not connected");
+  }
+
+  CentralizedResult result;
+  result.schedule = mac::Schedule(graph.node_count());
+  result.parent.assign(static_cast<std::size_t>(graph.node_count()), wsn::kNoNode);
+  result.hop = distance;
+  result.schedule.set_slot(sink, sink_slot);
+
+  // Process nodes level by level outward from the sink; within a level by
+  // ascending id, so the construction is deterministic.
+  std::vector<wsn::NodeId> order = graph.nodes();
+  std::sort(order.begin(), order.end(), [&](wsn::NodeId a, wsn::NodeId b) {
+    const int da = distance[static_cast<std::size_t>(a)];
+    const int db = distance[static_cast<std::size_t>(b)];
+    if (da != db) return da < db;
+    return a < b;
+  });
+
+  for (wsn::NodeId node : order) {
+    if (node == sink) {
+      continue;
+    }
+    const int my_distance = distance[static_cast<std::size_t>(node)];
+    // Strong DAS condition 3: slot must be strictly below every
+    // shortest-path neighbour's slot; all of those neighbours are one level
+    // closer and therefore already assigned. Aggregate toward the
+    // lowest-slot (tie: lowest-id) closer neighbour, deterministically.
+    mac::SlotId upper_bound = result.schedule.slot(sink);
+    wsn::NodeId chosen_parent = wsn::kNoNode;
+    for (wsn::NodeId neighbor : graph.neighbors(node)) {
+      if (distance[static_cast<std::size_t>(neighbor)] != my_distance - 1) {
+        continue;
+      }
+      const mac::SlotId parent_slot = result.schedule.slot(neighbor);
+      upper_bound = std::min(upper_bound, parent_slot);
+      if (chosen_parent == wsn::kNoNode ||
+          parent_slot < result.schedule.slot(chosen_parent) ||
+          (parent_slot == result.schedule.slot(chosen_parent) &&
+           neighbor < chosen_parent)) {
+        chosen_parent = neighbor;
+      }
+    }
+    result.parent[static_cast<std::size_t>(node)] = chosen_parent;
+
+    // Start strictly below all closer neighbours, then decrement past any
+    // slot already used inside the 2-hop neighbourhood (Definition 1).
+    std::unordered_set<mac::SlotId> taken;
+    for (wsn::NodeId peer : graph.two_hop_neighborhood(node)) {
+      if (result.schedule.assigned(peer)) {
+        taken.insert(result.schedule.slot(peer));
+      }
+    }
+    mac::SlotId candidate = upper_bound - 1;
+    while (taken.contains(candidate)) {
+      --candidate;
+    }
+    result.schedule.set_slot(node, candidate);
+  }
+  return result;
+}
+
+}  // namespace slpdas::das

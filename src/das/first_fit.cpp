@@ -1,0 +1,75 @@
+#include "slpdas/das/first_fit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "slpdas/wsn/paths.hpp"
+
+namespace slpdas::das {
+
+FirstFitResult build_first_fit_das(const wsn::Graph& graph, wsn::NodeId sink) {
+  if (!graph.contains(sink)) {
+    throw std::out_of_range("build_first_fit_das: sink out of range");
+  }
+  const auto distance = wsn::bfs_distances(graph, sink);
+  if (std::any_of(distance.begin(), distance.end(),
+                  [](int d) { return d == wsn::kUnreachable; })) {
+    throw std::invalid_argument("build_first_fit_das: graph not connected");
+  }
+
+  FirstFitResult result;
+  result.schedule = mac::Schedule(graph.node_count());
+  result.parent.assign(static_cast<std::size_t>(graph.node_count()),
+                       wsn::kNoNode);
+
+  // Deterministic BFS tree: parent = lowest-id closer neighbour.
+  for (wsn::NodeId node = 0; node < graph.node_count(); ++node) {
+    if (node == sink) {
+      continue;
+    }
+    for (wsn::NodeId neighbor : graph.neighbors(node)) {
+      if (distance[static_cast<std::size_t>(neighbor)] ==
+          distance[static_cast<std::size_t>(node)] - 1) {
+        result.parent[static_cast<std::size_t>(node)] = neighbor;
+        break;  // neighbours sorted: first hit is the lowest id
+      }
+    }
+  }
+
+  // Leaf-to-root: deepest level first, ascending id within a level.
+  std::vector<wsn::NodeId> order = graph.nodes();
+  std::sort(order.begin(), order.end(), [&](wsn::NodeId a, wsn::NodeId b) {
+    const int da = distance[static_cast<std::size_t>(a)];
+    const int db = distance[static_cast<std::size_t>(b)];
+    if (da != db) return da > db;
+    return a < b;
+  });
+
+  for (wsn::NodeId node : order) {
+    // Lower bound: one past the latest child (children already assigned,
+    // being one level deeper).
+    mac::SlotId lower = 1;
+    for (wsn::NodeId neighbor : graph.neighbors(node)) {
+      if (result.parent[static_cast<std::size_t>(neighbor)] == node &&
+          result.schedule.assigned(neighbor)) {
+        lower = std::max(lower, result.schedule.slot(neighbor) + 1);
+      }
+    }
+    std::unordered_set<mac::SlotId> taken;
+    for (wsn::NodeId peer : graph.two_hop_neighborhood(node)) {
+      if (result.schedule.assigned(peer)) {
+        taken.insert(result.schedule.slot(peer));
+      }
+    }
+    mac::SlotId candidate = lower;
+    while (taken.contains(candidate)) {
+      ++candidate;
+    }
+    result.schedule.set_slot(node, candidate);
+  }
+  result.sink_slot = result.schedule.slot(sink);
+  return result;
+}
+
+}  // namespace slpdas::das

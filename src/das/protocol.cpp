@@ -1,0 +1,384 @@
+#include "slpdas/das/protocol.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace slpdas::das {
+
+namespace {
+
+/// rank(i, Others) from Figure 2: the position of `i` in the competitor
+/// list AS THE PARENT TRANSMITTED IT, i.e. in the parent's neighbour
+/// discovery order. Siblings ranking themselves against the same received
+/// list get distinct ranks and therefore distinct slots; because discovery
+/// order is randomised by beacon jitter, sibling slot order varies per run
+/// (see known_neighbors() in the header for why that matters).
+int rank_in(wsn::NodeId node, const std::vector<wsn::NodeId>& competitors) {
+  int rank = 0;
+  for (wsn::NodeId member : competitors) {
+    if (member == node) {
+      return rank;
+    }
+    ++rank;
+  }
+  // Not listed (the parent had not discovered us when it disseminated):
+  // rank past the end, still collision-resolved later if needed.
+  return rank;
+}
+
+}  // namespace
+
+ProtectionlessDas::ProtectionlessDas(const DasConfig& config, wsn::NodeId sink,
+                                     wsn::NodeId source)
+    : config_(config), sink_(sink), source_(source) {
+  if (config.neighbor_discovery_periods < 1 ||
+      config.dissemination_timeout < 1 || config.minimum_setup_periods < 2) {
+    throw std::invalid_argument("DasConfig: non-positive phase lengths");
+  }
+  if (config.minimum_setup_periods <= config.neighbor_discovery_periods) {
+    throw std::invalid_argument(
+        "DasConfig: setup must extend beyond neighbour discovery");
+  }
+}
+
+void ProtectionlessDas::on_start() {
+  set_timer(kPeriodTimer, 0);
+}
+
+void ProtectionlessDas::on_timer(int timer_id) {
+  switch (timer_id) {
+    case kPeriodTimer: {
+      ++period_index_;
+      set_timer(kPeriodTimer, config_.period());
+
+      if (period_index_ < config_.neighbor_discovery_periods) {
+        // Neighbour discovery: one HELLO per period at a random offset, so
+        // beacons from different nodes interleave like CSMA traffic would.
+        set_timer(kHelloTimer,
+                  static_cast<sim::SimTime>(
+                      rng().uniform(static_cast<std::uint64_t>(
+                          config_.period() * 3 / 4))));
+        break;
+      }
+
+      if (period_index_ == config_.neighbor_discovery_periods && is_sink()) {
+        // Figure 2 init:: — the sink triggers the protocol.
+        hop_ = 0;
+        parent_ = wsn::kNoNode;
+        slot_ = config_.sink_slot;
+        ninfo_[id()] = NodeInfo{hop_, slot_};
+        request_dissemination();
+      }
+
+      if (dissem_budget_ > 0) {
+        // Jittered inside the dissemination window (leaving headroom so the
+        // message still arrives within the window).
+        const auto window = static_cast<std::uint64_t>(
+            std::max<sim::SimTime>(config_.frame.dissem_period -
+                                       2 * simulator().propagation_delay(),
+                                   1));
+        set_timer(kDissemSendTimer,
+                  static_cast<sim::SimTime>(rng().uniform(window)));
+      }
+      // The paper's process:: action runs once "all messages" of the
+      // dissemination window have been received, i.e. at the window's end.
+      set_timer(kProcessTimer, config_.frame.dissem_period);
+
+      if (data_phase() && slot_assigned() && !is_sink()) {
+        set_timer(kDataTimer,
+                  config_.frame.slot_offset(config_.frame.clamp_slot(slot_)));
+      }
+      if (data_phase() && is_source()) {
+        // One fresh datum per source period (Psrc == one TDMA period).
+        ++generated_seq_;
+        aggregated_seq_ = std::max(aggregated_seq_, generated_seq_);
+      }
+      on_period_start(period_index_);
+      break;
+    }
+    case kHelloTimer:
+      broadcast(std::make_shared<HelloMessage>());
+      break;
+    case kDissemSendTimer:
+      send_dissem();
+      break;
+    case kProcessTimer:
+      run_process_action();
+      break;
+    case kDataTimer:
+      send_data();
+      break;
+    default:
+      break;
+  }
+}
+
+void ProtectionlessDas::on_message(wsn::NodeId from,
+                                   const sim::Message& message) {
+  if (dynamic_cast<const HelloMessage*>(&message) != nullptr) {
+    handle_hello(from);
+  } else if (const auto* dissem = dynamic_cast<const DissemMessage*>(&message)) {
+    handle_dissem(from, *dissem);
+  } else if (const auto* normal = dynamic_cast<const NormalMessage*>(&message)) {
+    handle_normal(from, *normal);
+  } else {
+    on_other_message(from, message);
+  }
+}
+
+void ProtectionlessDas::add_neighbor(wsn::NodeId node) {
+  if (std::find(my_neighbors_.begin(), my_neighbors_.end(), node) ==
+      my_neighbors_.end()) {
+    my_neighbors_.push_back(node);
+  }
+}
+
+void ProtectionlessDas::handle_hello(wsn::NodeId from) {
+  add_neighbor(from);
+}
+
+void ProtectionlessDas::handle_dissem(wsn::NodeId from,
+                                      const DissemMessage& message) {
+  add_neighbor(from);  // dissemination also proves adjacency
+
+  // Merge Ninfo. Slots only ever decrease in this protocol family (initial
+  // assignment, collision resolution and refinement all move downward), so
+  // "smaller slot wins" merges stale and fresh views correctly.
+  bool learned_something = false;
+  for (const auto& [node, info] : message.ninfo) {
+    if (!info.assigned()) {
+      continue;
+    }
+    auto [it, inserted] = ninfo_.try_emplace(node, info);
+    if (inserted) {
+      learned_something = true;
+    } else if (!it->second.assigned() || info.slot < it->second.slot) {
+      it->second = info;
+      learned_something = true;
+    }
+  }
+  if (learned_something) {
+    // Re-arm the DT dissemination budget: 2-hop collision detection relies
+    // on middle nodes relaying fresh neighbour state, so news must keep a
+    // node talking. Because slots strictly decrease, "news" is a finite
+    // resource and the budget still quiesces once the schedule stabilises.
+    request_dissemination();
+  }
+
+  const auto sender_entry =
+      std::find_if(message.ninfo.begin(), message.ninfo.end(),
+                   [from](const auto& pair) { return pair.first == from; });
+  const bool sender_assigned = sender_entry != message.ninfo.end() &&
+                               sender_entry->second.assigned();
+
+  // receiveN:: — while unassigned, record assigned senders as potential
+  // parents, and their unassigned neighbours as slot competitors.
+  if (message.normal && !slot_assigned() && sender_assigned) {
+    potential_parents_.insert(from);
+    std::vector<wsn::NodeId> competitors;  // in the sender's listing order
+    for (const auto& [node, info] : message.ninfo) {
+      if (!info.assigned()) {
+        competitors.push_back(node);
+      }
+    }
+    others_[from] = std::move(competitors);
+  }
+
+  // Children discovery: a sender that names us as parent is our child.
+  if (message.parent == id()) {
+    children_.insert(from);
+  } else {
+    children_.erase(from);
+  }
+
+  // receiveU:: — parent slot repair. If our parent now transmits at or
+  // before us, drop strictly below it to restore the DAS ordering, and
+  // propagate the update downstream (Normal := 0).
+  if (slot_assigned() && from == parent_ && sender_assigned &&
+      slot_ >= sender_entry->second.slot) {
+    adopt_slot(sender_entry->second.slot - 1, /*update_children=*/true);
+  }
+}
+
+void ProtectionlessDas::handle_normal(wsn::NodeId from,
+                                      const NormalMessage& message) {
+  (void)from;
+  if (message.aggregated_seq > aggregated_seq_) {
+    aggregated_seq_ = message.aggregated_seq;
+  }
+  if (is_sink() && message.aggregated_seq > last_delivered_seq_) {
+    delivered_count_ += message.aggregated_seq - last_delivered_seq_;
+    last_delivered_seq_ = message.aggregated_seq;
+    // Sequence s is generated at the start of period MSP + s - 1 (the
+    // source emits one datum per period from the data phase on), so the
+    // sink can compute end-to-end aggregation latency locally.
+    const sim::SimTime generated_at =
+        config_.period() *
+        (config_.minimum_setup_periods +
+         static_cast<sim::SimTime>(message.aggregated_seq) - 1);
+    const sim::SimTime latency = now() - generated_at;
+    if (latency >= 0) {
+      latency_sum_ += latency;
+      latency_max_ = std::max(latency_max_, latency);
+      ++latency_count_;
+    }
+  }
+}
+
+void ProtectionlessDas::run_process_action() {
+  if (period_index_ < config_.neighbor_discovery_periods) {
+    return;
+  }
+  // process:: — choose parent and slot once at least one potential parent
+  // (an already-assigned neighbour) is known.
+  if (!slot_assigned() && !is_sink() && !potential_parents_.empty()) {
+    int best_hop = std::numeric_limits<int>::max();
+    for (wsn::NodeId candidate : potential_parents_) {
+      best_hop = std::min(best_hop, ninfo_.at(candidate).hop);
+    }
+    wsn::NodeId chosen = wsn::kNoNode;
+    for (wsn::NodeId candidate : potential_parents_) {
+      if (ninfo_.at(candidate).hop == best_hop) {
+        chosen = candidate;  // sets iterate ascending: min id wins
+        break;
+      }
+    }
+    hop_ = best_hop + 1;
+    parent_ = chosen;
+    slot_ = ninfo_.at(chosen).slot - rank_in(id(), others_[chosen]) - 1;
+    ninfo_[id()] = NodeInfo{hop_, slot_};
+    request_dissemination();
+  }
+  if (slot_assigned() && !is_sink() && config_.enforce_strong_das) {
+    // Strong DAS repair (Definition 2 cond 3): drop strictly below every
+    // known shortest-path neighbour (hop == ours - 1), not only the parent.
+    mac::SlotId upper = std::numeric_limits<mac::SlotId>::max();
+    for (wsn::NodeId neighbor : my_neighbors_) {
+      const auto it = ninfo_.find(neighbor);
+      if (it != ninfo_.end() && it->second.assigned() &&
+          it->second.hop == hop_ - 1) {
+        upper = std::min(upper, it->second.slot);
+      }
+    }
+    if (upper != std::numeric_limits<mac::SlotId>::max() && slot_ >= upper) {
+      adopt_slot(upper - 1, /*update_children=*/true);
+    }
+  }
+  if (slot_assigned() && !is_sink()) {
+    resolve_collisions();
+  }
+  ninfo_[id()] = NodeInfo{hop_, slot_};
+}
+
+void ProtectionlessDas::resolve_collisions() {
+  // Figure 2's collision block: when some known node shares our slot and we
+  // lose the (hop, id) tie-break, move earlier; the winner keeps its slot,
+  // so exactly one of each colliding pair moves. We jump directly to the
+  // next slot that is free in our known (2-hop) neighbourhood rather than
+  // stepping -1 per dissemination round: stepping converges to the same
+  // fixed point but needs one full propagation round per occupied slot,
+  // which explodes repair time after Phase 3 drops a decoy subtree into a
+  // densely occupied slot band.
+  bool we_lose = false;
+  for (const auto& [node, info] : ninfo_) {
+    if (node != id() && info.assigned() && info.slot == slot_ &&
+        (hop_ > info.hop || (hop_ == info.hop && id() > node))) {
+      we_lose = true;
+      break;
+    }
+  }
+  if (!we_lose) {
+    return;
+  }
+  std::set<mac::SlotId> taken;
+  for (const auto& [node, info] : ninfo_) {
+    if (node != id() && info.assigned()) {
+      taken.insert(info.slot);
+    }
+  }
+  mac::SlotId candidate = slot_ - 1;
+  while (taken.contains(candidate)) {
+    --candidate;
+  }
+  // Children sitting at or below the new slot must re-order under us.
+  adopt_slot(candidate, /*update_children=*/true);
+}
+
+void ProtectionlessDas::adopt_slot(mac::SlotId new_slot, bool update_children) {
+  slot_ = new_slot;
+  ninfo_[id()] = NodeInfo{hop_, slot_};
+  update_pending_ = update_pending_ || update_children;
+  request_dissemination();
+}
+
+NodeInfo ProtectionlessDas::info_of(wsn::NodeId n) const {
+  const auto it = ninfo_.find(n);
+  return it == ninfo_.end() ? NodeInfo{} : it->second;
+}
+
+mac::SlotId ProtectionlessDas::min_neighborhood_slot() const {
+  if (!slot_assigned()) {
+    throw std::logic_error("min_neighborhood_slot: node unassigned");
+  }
+  mac::SlotId best = slot_;
+  for (wsn::NodeId neighbor : my_neighbors_) {
+    const NodeInfo info = info_of(neighbor);
+    if (info.assigned()) {
+      best = std::min(best, info.slot);
+    }
+  }
+  return best;
+}
+
+void ProtectionlessDas::send_dissem() {
+  if (dissem_budget_ <= 0) {
+    return;
+  }
+  --dissem_budget_;
+  auto message = std::make_shared<DissemMessage>();
+  message->normal = !update_pending_;
+  message->sender = id();
+  message->parent = parent_;
+  message->ninfo.emplace_back(id(), NodeInfo{hop_, slot_});
+  for (wsn::NodeId neighbor : my_neighbors_) {
+    message->ninfo.emplace_back(neighbor, info_of(neighbor));
+  }
+  update_pending_ = false;
+  broadcast(std::move(message));
+}
+
+void ProtectionlessDas::send_data() {
+  if (!slot_assigned() || is_sink()) {
+    return;
+  }
+  auto message = std::make_shared<NormalMessage>();
+  message->sender = id();
+  message->aggregated_seq = aggregated_seq_;
+  broadcast(std::move(message));
+}
+
+mac::Schedule extract_schedule(const sim::Simulator& simulator) {
+  mac::Schedule schedule(simulator.graph().node_count());
+  for (wsn::NodeId node = 0; node < simulator.graph().node_count(); ++node) {
+    const auto& process =
+        dynamic_cast<const ProtectionlessDas&>(simulator.process(node));
+    if (process.slot_assigned()) {
+      schedule.set_slot(node, process.slot());
+    }
+  }
+  return schedule;
+}
+
+std::vector<wsn::NodeId> extract_parents(const sim::Simulator& simulator) {
+  std::vector<wsn::NodeId> parents(
+      static_cast<std::size_t>(simulator.graph().node_count()), wsn::kNoNode);
+  for (wsn::NodeId node = 0; node < simulator.graph().node_count(); ++node) {
+    const auto& process =
+        dynamic_cast<const ProtectionlessDas&>(simulator.process(node));
+    parents[static_cast<std::size_t>(node)] = process.parent();
+  }
+  return parents;
+}
+
+}  // namespace slpdas::das

@@ -1,0 +1,133 @@
+#include "slpdas/mac/schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace slpdas::mac {
+
+Schedule::Schedule(wsn::NodeId node_count) {
+  if (node_count < 0) {
+    throw std::invalid_argument("Schedule: negative node count");
+  }
+  slots_.assign(static_cast<std::size_t>(node_count), kNoSlot);
+}
+
+void Schedule::check_node(wsn::NodeId node) const {
+  if (node < 0 || node >= node_count()) {
+    throw std::out_of_range("Schedule: node " + std::to_string(node) +
+                            " out of range");
+  }
+}
+
+bool Schedule::assigned(wsn::NodeId node) const {
+  check_node(node);
+  return slots_[static_cast<std::size_t>(node)] != kNoSlot;
+}
+
+SlotId Schedule::slot(wsn::NodeId node) const {
+  check_node(node);
+  return slots_[static_cast<std::size_t>(node)];
+}
+
+void Schedule::set_slot(wsn::NodeId node, SlotId slot) {
+  check_node(node);
+  if (slot == kNoSlot) {
+    throw std::invalid_argument("Schedule::set_slot: kNoSlot is reserved");
+  }
+  slots_[static_cast<std::size_t>(node)] = slot;
+}
+
+void Schedule::clear_slot(wsn::NodeId node) {
+  check_node(node);
+  slots_[static_cast<std::size_t>(node)] = kNoSlot;
+}
+
+wsn::NodeId Schedule::assigned_count() const noexcept {
+  return static_cast<wsn::NodeId>(
+      std::count_if(slots_.begin(), slots_.end(),
+                    [](SlotId s) { return s != kNoSlot; }));
+}
+
+bool Schedule::complete() const noexcept {
+  return assigned_count() == node_count();
+}
+
+SlotId Schedule::min_slot() const {
+  SlotId best = kNoSlot;
+  for (SlotId s : slots_) {
+    if (s != kNoSlot && (best == kNoSlot || s < best)) {
+      best = s;
+    }
+  }
+  if (best == kNoSlot) {
+    throw std::logic_error("Schedule::min_slot: no assigned slots");
+  }
+  return best;
+}
+
+SlotId Schedule::max_slot() const {
+  SlotId best = kNoSlot;
+  for (SlotId s : slots_) {
+    if (s != kNoSlot && (best == kNoSlot || s > best)) {
+      best = s;
+    }
+  }
+  if (best == kNoSlot) {
+    throw std::logic_error("Schedule::max_slot: no assigned slots");
+  }
+  return best;
+}
+
+std::vector<wsn::NodeId> Schedule::transmission_order() const {
+  std::vector<wsn::NodeId> order;
+  order.reserve(slots_.size());
+  for (wsn::NodeId node = 0; node < node_count(); ++node) {
+    if (slots_[static_cast<std::size_t>(node)] != kNoSlot) {
+      order.push_back(node);
+    }
+  }
+  std::sort(order.begin(), order.end(), [this](wsn::NodeId a, wsn::NodeId b) {
+    const SlotId sa = slots_[static_cast<std::size_t>(a)];
+    const SlotId sb = slots_[static_cast<std::size_t>(b)];
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+  return order;
+}
+
+std::vector<std::vector<wsn::NodeId>> Schedule::sender_sets() const {
+  std::vector<std::vector<wsn::NodeId>> sets;
+  SlotId current = kNoSlot;
+  for (wsn::NodeId node : transmission_order()) {
+    const SlotId s = slots_[static_cast<std::size_t>(node)];
+    if (sets.empty() || s != current) {
+      sets.emplace_back();
+      current = s;
+    }
+    sets.back().push_back(node);
+  }
+  return sets;
+}
+
+void Schedule::shift(SlotId delta) {
+  for (SlotId& s : slots_) {
+    if (s != kNoSlot) {
+      s += delta;
+    }
+  }
+}
+
+std::string Schedule::to_string() const {
+  std::string out;
+  for (wsn::NodeId node = 0; node < node_count(); ++node) {
+    if (!out.empty()) {
+      out += ' ';
+    }
+    const SlotId s = slots_[static_cast<std::size_t>(node)];
+    out += std::to_string(node) + ':' +
+           (s == kNoSlot ? std::string("-") : std::to_string(s));
+  }
+  return out;
+}
+
+}  // namespace slpdas::mac

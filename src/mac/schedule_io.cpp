@@ -1,0 +1,121 @@
+#include "slpdas/mac/schedule_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace slpdas::mac {
+
+void write_schedule_csv(const Schedule& schedule, std::ostream& out) {
+  out << "node,slot\n";
+  for (wsn::NodeId node = 0; node < schedule.node_count(); ++node) {
+    out << node << ',';
+    if (schedule.assigned(node)) {
+      out << schedule.slot(node);
+    }
+    out << '\n';
+  }
+}
+
+Schedule read_schedule_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != "node,slot") {
+    throw std::invalid_argument("read_schedule_csv: missing 'node,slot' header");
+  }
+  std::vector<std::pair<wsn::NodeId, SlotId>> entries;
+  std::vector<char> has_slot;
+  wsn::NodeId expected = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) {
+      throw std::invalid_argument("read_schedule_csv: missing comma in '" +
+                                  line + "'");
+    }
+    wsn::NodeId node = 0;
+    try {
+      node = static_cast<wsn::NodeId>(std::stol(line.substr(0, comma)));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("read_schedule_csv: bad node in '" + line +
+                                  "'");
+    }
+    if (node != expected) {
+      throw std::invalid_argument(
+          "read_schedule_csv: nodes must be dense and ordered; expected " +
+          std::to_string(expected) + ", got " + std::to_string(node));
+    }
+    ++expected;
+    const std::string slot_field = line.substr(comma + 1);
+    if (slot_field.empty()) {
+      entries.emplace_back(node, kNoSlot);
+      has_slot.push_back(0);
+    } else {
+      try {
+        entries.emplace_back(node,
+                             static_cast<SlotId>(std::stol(slot_field)));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("read_schedule_csv: bad slot in '" + line +
+                                    "'");
+      }
+      has_slot.push_back(1);
+    }
+  }
+  Schedule schedule(expected);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (has_slot[i]) {
+      schedule.set_slot(entries[i].first, entries[i].second);
+    }
+  }
+  return schedule;
+}
+
+std::string ScheduleStats::to_string() const {
+  std::ostringstream out;
+  out << "assigned=" << assigned << " slots=[" << min_slot << ", " << max_slot
+      << "] distinct=" << distinct_slots << " span=" << span
+      << " density=" << density;
+  return out.str();
+}
+
+ScheduleStats compute_stats(const Schedule& schedule) {
+  ScheduleStats stats;
+  stats.assigned = schedule.assigned_count();
+  if (stats.assigned == 0) {
+    throw std::logic_error("compute_stats: empty schedule");
+  }
+  stats.min_slot = schedule.min_slot();
+  stats.max_slot = schedule.max_slot();
+  std::set<SlotId> distinct;
+  for (wsn::NodeId node = 0; node < schedule.node_count(); ++node) {
+    if (schedule.assigned(node)) {
+      distinct.insert(schedule.slot(node));
+    }
+  }
+  stats.distinct_slots = static_cast<int>(distinct.size());
+  stats.span = static_cast<int>(stats.max_slot - stats.min_slot + 1);
+  stats.density = static_cast<double>(stats.assigned) / stats.span;
+  return stats;
+}
+
+std::vector<SlotChange> diff_schedules(const Schedule& before,
+                                       const Schedule& after) {
+  if (before.node_count() != after.node_count()) {
+    throw std::invalid_argument("diff_schedules: size mismatch");
+  }
+  std::vector<SlotChange> changes;
+  for (wsn::NodeId node = 0; node < before.node_count(); ++node) {
+    const SlotId b = before.assigned(node) ? before.slot(node) : kNoSlot;
+    const SlotId a = after.assigned(node) ? after.slot(node) : kNoSlot;
+    if (b != a) {
+      changes.push_back({node, b, a});
+    }
+  }
+  return changes;
+}
+
+}  // namespace slpdas::mac

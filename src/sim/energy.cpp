@@ -1,0 +1,29 @@
+#include "slpdas/sim/energy.hpp"
+
+#include <stdexcept>
+
+namespace slpdas::sim {
+
+double node_energy_mj(const TrafficCounters& traffic, SimTime duration,
+                      const EnergyConfig& config) {
+  if (duration < 0) {
+    throw std::invalid_argument("node_energy_mj: negative duration");
+  }
+  const double tx_uj =
+      static_cast<double>(traffic.bytes_sent) * config.tx_per_byte_uj +
+      static_cast<double>(traffic.sent) * config.tx_per_message_uj;
+  const double rx_uj =
+      static_cast<double>(traffic.received) * config.rx_per_message_uj;
+  const double idle_uj = config.idle_uw * to_seconds(duration);
+  return (tx_uj + rx_uj + idle_uj) / 1000.0;
+}
+
+double total_energy_mj(const Simulator& simulator, const EnergyConfig& config) {
+  double total = 0.0;
+  for (wsn::NodeId node = 0; node < simulator.graph().node_count(); ++node) {
+    total += node_energy_mj(simulator.traffic(node), simulator.now(), config);
+  }
+  return total;
+}
+
+}  // namespace slpdas::sim

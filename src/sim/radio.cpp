@@ -1,0 +1,63 @@
+#include "slpdas/sim/radio.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace slpdas::sim {
+
+LossyRadio::LossyRadio(double loss_probability) : loss_(loss_probability) {
+  if (loss_probability < 0.0 || loss_probability >= 1.0) {
+    throw std::invalid_argument("LossyRadio: loss probability outside [0, 1)");
+  }
+}
+
+bool LossyRadio::delivered(wsn::NodeId, wsn::NodeId, SimTime, Rng& rng) {
+  return !rng.bernoulli(loss_);
+}
+
+CasinoLabNoise::CasinoLabNoise(const CasinoLabParams& params) : params_(params) {
+  if (params.quiet_loss < 0.0 || params.quiet_loss >= 1.0 ||
+      params.burst_loss < 0.0 || params.burst_loss >= 1.0) {
+    throw std::invalid_argument("CasinoLabNoise: loss outside [0, 1)");
+  }
+  if (params.mean_quiet <= 0 || params.mean_burst <= 0) {
+    throw std::invalid_argument("CasinoLabNoise: non-positive sojourn time");
+  }
+}
+
+void CasinoLabNoise::advance_to(SimTime at, Rng& rng) {
+  auto sample_sojourn = [&rng](SimTime mean) {
+    // Exponential sojourn; u is bounded away from 0 by the RNG's 2^-53 grid,
+    // and we clamp to >= 1 us to guarantee progress.
+    const double u = 1.0 - rng.uniform_double();
+    const double draw = -static_cast<double>(mean) * std::log(u);
+    return draw < 1.0 ? SimTime{1} : static_cast<SimTime>(draw);
+  };
+  if (next_transition_ < 0) {
+    next_transition_ = sample_sojourn(params_.mean_quiet);
+  }
+  while (next_transition_ <= at) {
+    in_burst_ = !in_burst_;
+    next_transition_ +=
+        sample_sojourn(in_burst_ ? params_.mean_burst : params_.mean_quiet);
+  }
+}
+
+bool CasinoLabNoise::delivered(wsn::NodeId, wsn::NodeId, SimTime at, Rng& rng) {
+  advance_to(at, rng);
+  return !rng.bernoulli(in_burst_ ? params_.burst_loss : params_.quiet_loss);
+}
+
+std::unique_ptr<RadioModel> make_ideal_radio() {
+  return std::make_unique<IdealRadio>();
+}
+
+std::unique_ptr<RadioModel> make_lossy_radio(double loss) {
+  return std::make_unique<LossyRadio>(loss);
+}
+
+std::unique_ptr<RadioModel> make_casino_lab_noise(const CasinoLabParams& params) {
+  return std::make_unique<CasinoLabNoise>(params);
+}
+
+}  // namespace slpdas::sim

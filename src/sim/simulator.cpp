@@ -1,0 +1,176 @@
+#include "slpdas/sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace slpdas::sim {
+
+// ---------------------------------------------------------------- Process
+
+void Process::broadcast(MessagePtr message) {
+  if (simulator_ == nullptr) {
+    throw std::logic_error("Process::broadcast before registration");
+  }
+  if (!message) {
+    throw std::invalid_argument("Process::broadcast: null message");
+  }
+  simulator_->do_broadcast(id_, std::move(message));
+}
+
+void Process::set_timer(int timer_id, SimTime delay) {
+  if (simulator_ == nullptr) {
+    throw std::logic_error("Process::set_timer before registration");
+  }
+  if (delay < 0) {
+    throw std::invalid_argument("Process::set_timer: negative delay");
+  }
+  const std::uint64_t generation = ++timer_generation_[timer_id];
+  simulator_->call_after(delay, [this, timer_id, generation] {
+    const auto it = timer_generation_.find(timer_id);
+    if (it != timer_generation_.end() && it->second == generation) {
+      on_timer(timer_id);
+    }
+  });
+}
+
+void Process::cancel_timer(int timer_id) {
+  // Bumping the generation invalidates any pending expiry closure.
+  ++timer_generation_[timer_id];
+}
+
+SimTime Process::now() const { return simulator_->now(); }
+
+Rng& Process::rng() { return simulator_->rng(); }
+
+const wsn::Graph& Process::graph() const { return simulator_->graph(); }
+
+// -------------------------------------------------------------- Simulator
+
+Simulator::Simulator(const wsn::Graph& graph, std::unique_ptr<RadioModel> radio,
+                     std::uint64_t seed)
+    : graph_(graph), radio_(std::move(radio)), rng_(seed) {
+  if (!radio_) {
+    throw std::invalid_argument("Simulator: null radio model");
+  }
+  processes_.resize(static_cast<std::size_t>(graph.node_count()));
+  traffic_.resize(static_cast<std::size_t>(graph.node_count()));
+}
+
+void Simulator::add_process(wsn::NodeId node, std::unique_ptr<Process> process) {
+  if (!graph_.contains(node)) {
+    throw std::out_of_range("Simulator::add_process: node out of range");
+  }
+  if (!process) {
+    throw std::invalid_argument("Simulator::add_process: null process");
+  }
+  auto& slot = processes_[static_cast<std::size_t>(node)];
+  if (slot) {
+    throw std::logic_error("Simulator::add_process: node already has a process");
+  }
+  process->simulator_ = this;
+  process->id_ = node;
+  slot = std::move(process);
+}
+
+void Simulator::add_observer(TransmissionObserver* observer) {
+  if (observer == nullptr) {
+    throw std::invalid_argument("Simulator::add_observer: null observer");
+  }
+  observers_.push_back(observer);
+}
+
+void Simulator::call_at(SimTime at, std::function<void()> action) {
+  if (at < now_) {
+    throw std::invalid_argument("Simulator::call_at: time in the past");
+  }
+  queue_.push(at, std::move(action));
+}
+
+void Simulator::call_after(SimTime delay, std::function<void()> action) {
+  call_at(now_ + delay, std::move(action));
+}
+
+void Simulator::set_propagation_delay(SimTime delay) {
+  if (delay < 0) {
+    throw std::invalid_argument("Simulator: negative propagation delay");
+  }
+  propagation_delay_ = delay;
+}
+
+Process& Simulator::process(wsn::NodeId node) {
+  if (!graph_.contains(node) || !processes_[static_cast<std::size_t>(node)]) {
+    throw std::out_of_range("Simulator::process: no process for node");
+  }
+  return *processes_[static_cast<std::size_t>(node)];
+}
+
+const Process& Simulator::process(wsn::NodeId node) const {
+  if (!graph_.contains(node) || !processes_[static_cast<std::size_t>(node)]) {
+    throw std::out_of_range("Simulator::process: no process for node");
+  }
+  return *processes_[static_cast<std::size_t>(node)];
+}
+
+const TrafficCounters& Simulator::traffic(wsn::NodeId node) const {
+  if (!graph_.contains(node)) {
+    throw std::out_of_range("Simulator::traffic: node out of range");
+  }
+  return traffic_[static_cast<std::size_t>(node)];
+}
+
+void Simulator::do_broadcast(wsn::NodeId from, MessagePtr message) {
+  auto& counters = traffic_[static_cast<std::size_t>(from)];
+  ++counters.sent;
+  counters.bytes_sent += message->wire_size();
+  ++total_sent_;
+  ++sends_by_type_[message->name()];
+
+  for (TransmissionObserver* observer : observers_) {
+    observer->on_transmission(from, *message, now_);
+  }
+
+  const SimTime arrival = now_ + propagation_delay_;
+  for (wsn::NodeId to : graph_.neighbors(from)) {
+    if (!radio_->delivered(from, to, now_, rng_)) {
+      continue;
+    }
+    queue_.push(arrival, [this, from, to, message] {
+      ++traffic_[static_cast<std::size_t>(to)].received;
+      auto& receiver = processes_[static_cast<std::size_t>(to)];
+      if (receiver) {
+        receiver->on_message(from, *message);
+      }
+    });
+  }
+}
+
+bool Simulator::step(SimTime end) {
+  if (!started_) {
+    started_ = true;
+    for (auto& process : processes_) {
+      if (process) {
+        process->on_start();
+      }
+    }
+  }
+  if (stopped_ || queue_.empty() || queue_.next_time() > end) {
+    return false;
+  }
+  auto action = queue_.pop(now_);
+  action();
+  ++events_executed_;
+  return true;
+}
+
+std::uint64_t Simulator::run_until(SimTime end) {
+  std::uint64_t executed = 0;
+  while (step(end)) {
+    ++executed;
+  }
+  if (!stopped_ && (queue_.empty() || queue_.next_time() > end)) {
+    now_ = end;
+  }
+  return executed;
+}
+
+}  // namespace slpdas::sim

@@ -1,0 +1,60 @@
+#include "slpdas/sim/trace.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace slpdas::sim {
+
+void TraceRecorder::on_transmission(wsn::NodeId from, const Message& message,
+                                    SimTime at) {
+  if (at < start_time_) {
+    return;
+  }
+  if (!type_filter_.empty() && type_filter_ != message.name()) {
+    return;
+  }
+  TraceEntry entry;
+  entry.at = at;
+  entry.sender = from;
+  entry.type = message.name();
+  entry.period = frame_.period_of(at);
+  const SimTime offset = at - frame_.period_start(entry.period);
+  entry.slot = offset < frame_.dissem_period
+                   ? 0
+                   : static_cast<mac::SlotId>(
+                         (offset - frame_.dissem_period) / frame_.slot_period +
+                         1);
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<TraceEntry> TraceRecorder::period_slice(std::int64_t period) const {
+  std::vector<TraceEntry> slice;
+  for (const TraceEntry& entry : entries_) {
+    if (entry.period == period) {
+      slice.push_back(entry);
+    }
+  }
+  return slice;
+}
+
+std::vector<std::uint64_t> TraceRecorder::sends_per_node(
+    wsn::NodeId node_count) const {
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(node_count), 0);
+  for (const TraceEntry& entry : entries_) {
+    if (entry.sender < 0 || entry.sender >= node_count) {
+      throw std::out_of_range("TraceRecorder::sends_per_node: sender out of range");
+    }
+    ++counts[static_cast<std::size_t>(entry.sender)];
+  }
+  return counts;
+}
+
+void TraceRecorder::write_csv(std::ostream& out) const {
+  out << "at_us,sender,type,period,slot\n";
+  for (const TraceEntry& entry : entries_) {
+    out << entry.at << ',' << entry.sender << ',' << entry.type << ','
+        << entry.period << ',' << entry.slot << '\n';
+  }
+}
+
+}  // namespace slpdas::sim

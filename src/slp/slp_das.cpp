@@ -1,0 +1,256 @@
+#include "slpdas/slp/slp_das.hpp"
+
+#include <algorithm>
+
+#include <stdexcept>
+
+namespace slpdas::slp {
+
+using das::ChangeMessage;
+using das::SearchMessage;
+
+SlpDas::SlpDas(const SlpConfig& config, wsn::NodeId sink, wsn::NodeId source)
+    : ProtectionlessDas(config.das, sink, source), slp_(config) {
+  if (config.search_distance < 1) {
+    throw std::invalid_argument("SlpConfig: search_distance must be >= 1");
+  }
+  if (config.change_length < 1) {
+    throw std::invalid_argument("SlpConfig: change_length must be >= 1");
+  }
+  if (config.search_start_period <= config.das.neighbor_discovery_periods ||
+      config.search_start_period >= config.das.minimum_setup_periods) {
+    throw std::invalid_argument(
+        "SlpConfig: search must start after discovery and before the data "
+        "phase");
+  }
+}
+
+void SlpDas::on_period_start(int period_index) {
+  if (is_sink() && period_index >= slp_.search_start_period &&
+      period_index < slp_.search_start_period + slp_.search_retries &&
+      searches_launched_ < slp_.search_retries) {
+    // Launch inside the dissemination window, jittered like other control
+    // traffic.
+    const auto window = static_cast<std::uint64_t>(
+        std::max<sim::SimTime>(config().frame.dissem_period / 2, 1));
+    set_timer(kSearchLaunchTimer,
+              static_cast<sim::SimTime>(rng().uniform(window)));
+  }
+}
+
+void SlpDas::on_timer(int timer_id) {
+  // Note: ProtectionlessDas::on_timer handles all base timers; we intercept
+  // only our own.
+  if (timer_id == kSearchLaunchTimer) {
+    launch_search();
+    return;
+  }
+  ProtectionlessDas::on_timer(timer_id);
+}
+
+void SlpDas::on_other_message(wsn::NodeId from, const sim::Message& message) {
+  if (const auto* search = dynamic_cast<const SearchMessage*>(&message)) {
+    handle_search(from, *search);
+  } else if (const auto* change = dynamic_cast<const ChangeMessage*>(&message)) {
+    handle_change(from, *change);
+  }
+}
+
+std::optional<wsn::NodeId> SlpDas::min_slot_child() const {
+  std::optional<wsn::NodeId> best;
+  mac::SlotId best_slot = mac::kNoSlot;
+  for (wsn::NodeId child : children()) {
+    const das::NodeInfo info = info_of(child);
+    if (!info.assigned()) {
+      continue;
+    }
+    if (!best || info.slot < best_slot) {
+      best = child;
+      best_slot = info.slot;
+    }
+  }
+  return best;
+}
+
+std::optional<wsn::NodeId> SlpDas::choose(
+    const std::set<wsn::NodeId>& candidates) {
+  if (candidates.empty()) {
+    return std::nullopt;
+  }
+  auto it = candidates.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(rng().pick_index(candidates.size())));
+  return *it;
+}
+
+void SlpDas::launch_search() {
+  // Figure 3 startS:: — the sink aims the search at its minimum-slot child:
+  // the first hop of the very gradient the attacker will follow.
+  if (!is_sink() || searches_launched_ >= slp_.search_retries) {
+    return;
+  }
+  const auto target = min_slot_child();
+  if (!target) {
+    return;  // children not known yet; a retry period may succeed
+  }
+  ++searches_launched_;
+  auto message = std::make_shared<SearchMessage>();
+  message->sender = id();
+  message->target = *target;
+  message->dist = slp_.search_distance;
+  broadcast(std::move(message));
+}
+
+void SlpDas::handle_search(wsn::NodeId from, const SearchMessage& message) {
+  // Everyone overhearing the search records where it came from; the decoy
+  // path must avoid growing back toward the sink (Figure 3's `from` set).
+  from_.insert(from);
+  if (message.target != id() || is_sink()) {
+    return;
+  }
+  if (searches_forwarded_ >= slp_.search_forward_budget) {
+    return;
+  }
+
+  std::set<wsn::NodeId> spare_parents = potential_parents();
+  spare_parents.erase(parent());
+  spare_parents.erase(from);
+
+  if (message.dist == 0) {
+    if (!spare_parents.empty()) {
+      // Suitable redirection point found.
+      if (!became_start_node_) {
+        became_start_node_ = true;
+        start_refinement();
+      }
+      return;
+    }
+    // No spare potential parent here: keep searching at distance 0 through
+    // a child, or failing that any neighbour except our parent (Figure 3).
+    std::set<wsn::NodeId> fallback = children();
+    if (fallback.empty()) {
+      fallback.insert(known_neighbors().begin(), known_neighbors().end());
+      fallback.erase(parent());
+      fallback.erase(from);
+    }
+    const auto next = choose(fallback);
+    if (!next) {
+      return;
+    }
+    ++searches_forwarded_;
+    auto forward = std::make_shared<SearchMessage>();
+    forward->sender = id();
+    forward->target = *next;
+    forward->dist = 0;
+    broadcast(std::move(forward));
+    return;
+  }
+
+  // dist > 0: continue along the minimum-slot child.
+  auto next = min_slot_child();
+  if (!next) {
+    // Leaf reached early: degrade to the distance-0 sideways search.
+    std::set<wsn::NodeId> fallback(known_neighbors().begin(),
+                                   known_neighbors().end());
+    fallback.erase(parent());
+    fallback.erase(from);
+    next = choose(fallback);
+  }
+  if (!next) {
+    return;
+  }
+  ++searches_forwarded_;
+  auto forward = std::make_shared<SearchMessage>();
+  forward->sender = id();
+  forward->target = *next;
+  forward->dist = message.dist - 1;
+  broadcast(std::move(forward));
+}
+
+void SlpDas::start_refinement() {
+  // Figure 4 startR:: — instruct a spare potential parent (never the real
+  // parent, never the search direction) to become the decoy head.
+  if (refinement_started_ || !slot_assigned()) {
+    return;
+  }
+  std::set<wsn::NodeId> candidates = potential_parents();
+  candidates.erase(parent());
+  for (wsn::NodeId f : from_) {
+    candidates.erase(f);
+  }
+  const auto target = choose(candidates);
+  if (!target) {
+    return;
+  }
+  refinement_started_ = true;
+  auto message = std::make_shared<ChangeMessage>();
+  message->sender = id();
+  message->target = *target;
+  message->new_slot = min_neighborhood_slot();
+  message->dist = slp_.change_length - 1;
+  broadcast(std::move(message));
+}
+
+void SlpDas::handle_change(wsn::NodeId from, const ChangeMessage& message) {
+  if (message.target != id() || is_sink() || !slot_assigned()) {
+    return;
+  }
+  if (on_decoy_path_) {
+    return;  // already refined once; never ping-pong the decoy
+  }
+  on_decoy_path_ = true;
+
+  std::set<wsn::NodeId> candidates(known_neighbors().begin(),
+                                   known_neighbors().end());
+  candidates.erase(parent());
+  candidates.erase(from);
+  for (wsn::NodeId f : from_) {
+    candidates.erase(f);
+  }
+
+  // Adopt a slot strictly below everything audible around the predecessor,
+  // so the attacker sitting there hears this node first (Figure 4). Never
+  // raise: the whole protocol family relies on slots only decreasing (the
+  // Ninfo merge is a min-merge), and if we already fire earlier than the
+  // requested slot the redirection goal is met anyway.
+  adopt_slot(std::min(slot(), message.new_slot - 1),
+             /*update_children=*/true);
+
+  if (message.dist > 0) {
+    const auto next = choose(candidates);
+    if (next) {
+      auto forward = std::make_shared<ChangeMessage>();
+      forward->sender = id();
+      forward->target = *next;
+      forward->new_slot = min_neighborhood_slot();
+      forward->dist = message.dist - 1;
+      broadcast(std::move(forward));
+    }
+  }
+}
+
+DecoySummary extract_decoy(const sim::Simulator& simulator) {
+  DecoySummary summary;
+  for (wsn::NodeId node = 0; node < simulator.graph().node_count(); ++node) {
+    const auto& process = dynamic_cast<const SlpDas&>(simulator.process(node));
+    if (process.is_redirection_start()) {
+      summary.start_nodes.push_back(node);
+    }
+    if (process.on_decoy_path()) {
+      summary.decoy_path.push_back(node);
+    }
+  }
+  std::sort(summary.decoy_path.begin(), summary.decoy_path.end(),
+            [&simulator](wsn::NodeId a, wsn::NodeId b) {
+              const auto& pa =
+                  dynamic_cast<const SlpDas&>(simulator.process(a));
+              const auto& pb =
+                  dynamic_cast<const SlpDas&>(simulator.process(b));
+              if (pa.slot() != pb.slot()) {
+                return pa.slot() > pb.slot();  // head (earliest refined) first
+              }
+              return a < b;
+            });
+  return summary;
+}
+
+}  // namespace slpdas::slp

@@ -1,0 +1,188 @@
+#include "slpdas/verify/das_checker.hpp"
+
+#include <algorithm>
+
+#include "slpdas/wsn/paths.hpp"
+
+namespace slpdas::verify {
+
+namespace {
+
+/// True when node n sits in the final sender set (globally latest slot
+/// among non-sink senders); Definitions 2/3 condition 3 quantifies only
+/// over 1 <= i <= l-1, i.e. skips those nodes.
+bool in_final_sender_set(const mac::Schedule& schedule, wsn::NodeId node,
+                         mac::SlotId max_sender_slot) {
+  return schedule.slot(node) == max_sender_slot;
+}
+
+mac::SlotId max_sender_slot(const mac::Schedule& schedule, wsn::NodeId sink) {
+  mac::SlotId best = mac::kNoSlot;
+  for (wsn::NodeId node = 0; node < schedule.node_count(); ++node) {
+    if (node == sink || !schedule.assigned(node)) {
+      continue;
+    }
+    if (best == mac::kNoSlot || schedule.slot(node) > best) {
+      best = schedule.slot(node);
+    }
+  }
+  return best;
+}
+
+void append_unassigned(const mac::Schedule& schedule, wsn::NodeId sink,
+                       CheckResult& result) {
+  for (wsn::NodeId node = 0; node < schedule.node_count(); ++node) {
+    if (node != sink && !schedule.assigned(node)) {
+      result.violations.push_back(
+          {ViolationKind::kUnassignedNode, node, wsn::kNoNode,
+           "node " + std::to_string(node) + " has no slot (Def 2/3 cond 2)"});
+    }
+  }
+}
+
+void append_collisions(const wsn::Graph& graph, const mac::Schedule& schedule,
+                       wsn::NodeId sink, CheckResult& result) {
+  for (wsn::NodeId node = 0; node < graph.node_count(); ++node) {
+    if (node == sink || !schedule.assigned(node)) {
+      continue;
+    }
+    for (wsn::NodeId peer : graph.two_hop_neighborhood(node)) {
+      // Report each unordered pair once.
+      if (peer <= node || peer == sink || !schedule.assigned(peer)) {
+        continue;
+      }
+      if (schedule.slot(peer) == schedule.slot(node)) {
+        result.violations.push_back(
+            {ViolationKind::kSlotCollision, node, peer,
+             "nodes " + std::to_string(node) + " and " + std::to_string(peer) +
+                 " share slot " + std::to_string(schedule.slot(node)) +
+                 " within 2 hops (Def 1)"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(ViolationKind kind) noexcept {
+  switch (kind) {
+    case ViolationKind::kUnassignedNode:
+      return "unassigned-node";
+    case ViolationKind::kSlotCollision:
+      return "slot-collision";
+    case ViolationKind::kOrderViolation:
+      return "order-violation";
+    case ViolationKind::kNoLaterParent:
+      return "no-later-parent";
+  }
+  return "unknown";
+}
+
+std::string CheckResult::summary() const {
+  if (ok()) {
+    return "ok";
+  }
+  std::string out = std::to_string(violations.size()) + " violation(s):";
+  const std::size_t shown = std::min<std::size_t>(violations.size(), 8);
+  for (std::size_t i = 0; i < shown; ++i) {
+    out += "\n  [";
+    out += to_string(violations[i].kind);
+    out += "] ";
+    out += violations[i].detail;
+  }
+  if (shown < violations.size()) {
+    out += "\n  ...";
+  }
+  return out;
+}
+
+CheckResult check_noncolliding(const wsn::Graph& graph,
+                               const mac::Schedule& schedule,
+                               wsn::NodeId sink) {
+  CheckResult result;
+  append_collisions(graph, schedule, sink, result);
+  return result;
+}
+
+bool is_noncolliding(const wsn::Graph& graph, const mac::Schedule& schedule,
+                     wsn::NodeId node, wsn::NodeId sink) {
+  if (!schedule.assigned(node)) {
+    return true;
+  }
+  const auto two_hop = graph.two_hop_neighborhood(node);
+  return std::none_of(two_hop.begin(), two_hop.end(), [&](wsn::NodeId peer) {
+    return peer != sink && schedule.assigned(peer) &&
+           schedule.slot(peer) == schedule.slot(node);
+  });
+}
+
+CheckResult check_strong_das(const wsn::Graph& graph,
+                             const mac::Schedule& schedule, wsn::NodeId sink) {
+  CheckResult result;
+  append_unassigned(schedule, sink, result);
+  append_collisions(graph, schedule, sink, result);
+
+  const auto parents = wsn::shortest_path_parents(graph, sink);
+  const mac::SlotId last_slot = max_sender_slot(schedule, sink);
+  for (wsn::NodeId node = 0; node < graph.node_count(); ++node) {
+    if (node == sink || !schedule.assigned(node) ||
+        in_final_sender_set(schedule, node, last_slot)) {
+      continue;
+    }
+    for (wsn::NodeId parent : parents[static_cast<std::size_t>(node)]) {
+      if (parent == sink) {
+        continue;  // (m = S) satisfies the disjunction
+      }
+      if (!schedule.assigned(parent) ||
+          schedule.slot(parent) <= schedule.slot(node)) {
+        result.violations.push_back(
+            {ViolationKind::kOrderViolation, node, parent,
+             "shortest-path neighbour " + std::to_string(parent) +
+                 " of node " + std::to_string(node) +
+                 " does not transmit later (Def 2 cond 3)"});
+      }
+    }
+  }
+  return result;
+}
+
+CheckResult check_weak_das(const wsn::Graph& graph,
+                           const mac::Schedule& schedule, wsn::NodeId sink) {
+  CheckResult result;
+  append_unassigned(schedule, sink, result);
+  append_collisions(graph, schedule, sink, result);
+
+  const auto distances = wsn::bfs_distances(graph, sink);
+  const mac::SlotId last_slot = max_sender_slot(schedule, sink);
+  for (wsn::NodeId node = 0; node < graph.node_count(); ++node) {
+    if (node == sink || !schedule.assigned(node) ||
+        distances[static_cast<std::size_t>(node)] == wsn::kUnreachable ||
+        in_final_sender_set(schedule, node, last_slot)) {
+      continue;
+    }
+    bool has_later = false;
+    for (wsn::NodeId neighbor : graph.neighbors(node)) {
+      if (neighbor == sink) {
+        has_later = true;  // (m = S)
+        break;
+      }
+      // Any neighbour in a connected graph has a path to the sink, matching
+      // Def 3's "n . m ... S is a path" quantification.
+      if (schedule.assigned(neighbor) &&
+          schedule.slot(neighbor) > schedule.slot(node)) {
+        has_later = true;
+        break;
+      }
+    }
+    if (!has_later) {
+      result.violations.push_back(
+          {ViolationKind::kNoLaterParent, node, wsn::kNoNode,
+           "node " + std::to_string(node) +
+               " has no later-transmitting neighbour nor sink adjacency "
+               "(Def 3 cond 3)"});
+    }
+  }
+  return result;
+}
+
+}  // namespace slpdas::verify

@@ -1,0 +1,162 @@
+#include "slpdas/verify/reachability.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+namespace slpdas::verify {
+
+namespace {
+
+using History = std::vector<wsn::NodeId>;
+using StateKey = std::tuple<wsn::NodeId, int, History>;
+
+History push_history(const History& history, wsn::NodeId location,
+                     int capacity) {
+  if (capacity <= 0) {
+    return {};
+  }
+  History next = history;
+  next.push_back(location);
+  while (static_cast<int>(next.size()) > capacity) {
+    next.erase(next.begin());
+  }
+  return next;
+}
+
+std::vector<wsn::NodeId> allowed_moves(const wsn::Graph& graph,
+                                       const mac::Schedule& schedule,
+                                       const VerifyAttacker& attacker,
+                                       wsn::NodeId location,
+                                       const History& history) {
+  const auto heard = lowest_slot_neighbors(graph, schedule, location,
+                                           attacker.messages_per_move);
+  if (heard.empty()) {
+    return {};
+  }
+  switch (attacker.policy) {
+    case DPolicy::kMinSlot:
+      return {heard.front()};
+    case DPolicy::kAnyHeard:
+      return heard;
+    case DPolicy::kHistoryAvoidingMinSlot:
+      for (wsn::NodeId candidate : heard) {
+        if (std::find(history.begin(), history.end(), candidate) ==
+            history.end()) {
+          return {candidate};
+        }
+      }
+      return heard;
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<wsn::NodeId> ReachabilityResult::reached_within(int delta) const {
+  std::vector<wsn::NodeId> nodes;
+  for (wsn::NodeId node = 0;
+       node < static_cast<wsn::NodeId>(min_periods.size()); ++node) {
+    const int periods = min_periods[static_cast<std::size_t>(node)];
+    if (periods != kUnreachablePeriod && periods <= delta) {
+      nodes.push_back(node);
+    }
+  }
+  return nodes;
+}
+
+int ReachabilityResult::reachable_count() const {
+  return static_cast<int>(
+      std::count_if(min_periods.begin(), min_periods.end(),
+                    [](int p) { return p != kUnreachablePeriod; }));
+}
+
+ReachabilityResult attacker_reachability(const wsn::Graph& graph,
+                                         const mac::Schedule& schedule,
+                                         const VerifyAttacker& attacker,
+                                         int period_cap) {
+  if (!graph.contains(attacker.start)) {
+    throw std::out_of_range("attacker_reachability: start out of range");
+  }
+  if (schedule.node_count() != graph.node_count()) {
+    throw std::invalid_argument(
+        "attacker_reachability: schedule/graph size mismatch");
+  }
+  if (attacker.messages_per_move < 1 || attacker.moves_per_period < 1 ||
+      attacker.history_size < 0 || period_cap < 0) {
+    throw std::invalid_argument("attacker_reachability: invalid parameters");
+  }
+
+  ReachabilityResult result;
+  result.min_periods.assign(static_cast<std::size_t>(graph.node_count()),
+                            ReachabilityResult::kUnreachablePeriod);
+
+  const int history_capacity =
+      attacker.policy == DPolicy::kHistoryAvoidingMinSlot
+          ? attacker.history_size
+          : 0;
+
+  struct Node {
+    StateKey key;
+    int period;
+  };
+  std::map<StateKey, int> best;
+  std::deque<Node> queue;
+  const StateKey start{attacker.start, 0, History{}};
+  best[start] = 0;
+  queue.push_back({start, 0});
+
+  while (!queue.empty()) {
+    const Node current = queue.front();
+    queue.pop_front();
+    const auto& [location, moves, history] = current.key;
+    if (current.period > best.at(current.key) || current.period > period_cap) {
+      continue;
+    }
+    auto& node_best = result.min_periods[static_cast<std::size_t>(location)];
+    if (node_best == ReachabilityResult::kUnreachablePeriod ||
+        current.period < node_best) {
+      node_best = current.period;
+    }
+    if (!schedule.assigned(location)) {
+      continue;
+    }
+    for (wsn::NodeId next :
+         allowed_moves(graph, schedule, attacker, location, history)) {
+      const bool earlier_slot = schedule.slot(location) > schedule.slot(next);
+      int next_moves;
+      int cost;
+      if (earlier_slot) {
+        cost = 1;
+        next_moves = 1;
+      } else {
+        if (moves >= attacker.moves_per_period) {
+          continue;
+        }
+        cost = 0;
+        next_moves = moves + 1;
+      }
+      const int next_period = current.period + cost;
+      if (next_period > period_cap) {
+        continue;
+      }
+      StateKey next_key{next, next_moves,
+                        push_history(history, location, history_capacity)};
+      const auto it = best.find(next_key);
+      if (it != best.end() && it->second <= next_period) {
+        continue;
+      }
+      best[next_key] = next_period;
+      if (cost == 0) {
+        queue.push_front({std::move(next_key), next_period});
+      } else {
+        queue.push_back({std::move(next_key), next_period});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace slpdas::verify

@@ -1,0 +1,43 @@
+#include "slpdas/verify/slp_aware.hpp"
+
+#include "slpdas/verify/das_checker.hpp"
+
+namespace slpdas::verify {
+
+std::string SlpAwareness::to_string() const {
+  auto period_text = [this](const std::optional<int>& period) {
+    return period ? std::to_string(*period) + " periods"
+                  : ">" + std::to_string(period_cap) + " periods (no capture)";
+  };
+  std::string out = "candidate: ";
+  out += candidate_is_strong_das ? "strong DAS"
+         : candidate_is_weak_das ? "weak DAS"
+                                 : "NOT a DAS";
+  out += ", capture " + period_text(candidate_capture_period);
+  out += "; baseline capture " + period_text(baseline_capture_period);
+  out += "; weak-SLP-aware: ";
+  out += weak_slp_aware() ? "yes" : "no";
+  out += ", strong-SLP-aware: ";
+  out += strong_slp_aware() ? "yes" : "no";
+  return out;
+}
+
+SlpAwareness check_slp_aware_das(const wsn::Graph& graph,
+                                 const mac::Schedule& candidate,
+                                 const mac::Schedule& baseline,
+                                 const VerifyAttacker& attacker,
+                                 wsn::NodeId source, wsn::NodeId sink,
+                                 int period_cap) {
+  SlpAwareness result;
+  result.period_cap = period_cap;
+  result.candidate_is_weak_das = check_weak_das(graph, candidate, sink).ok();
+  result.candidate_is_strong_das =
+      check_strong_das(graph, candidate, sink).ok();
+  result.candidate_capture_period =
+      min_capture_period(graph, candidate, attacker, source, period_cap);
+  result.baseline_capture_period =
+      min_capture_period(graph, baseline, attacker, source, period_cap);
+  return result;
+}
+
+}  // namespace slpdas::verify

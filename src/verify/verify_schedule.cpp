@@ -1,0 +1,332 @@
+#include "slpdas/verify/verify_schedule.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+namespace slpdas::verify {
+
+namespace {
+
+/// Attacker configuration invariant across a search.
+struct Search {
+  const wsn::Graph& graph;
+  const mac::Schedule& schedule;
+  const VerifyAttacker& attacker;
+  wsn::NodeId source;
+  int delta;
+};
+
+/// Mutable attacker state; period is tracked outside (BFS layer / DFS arg).
+using History = std::vector<wsn::NodeId>;
+using StateKey = std::tuple<wsn::NodeId, int, History>;  // (loc, moves, hist)
+
+History push_history(const History& history, wsn::NodeId location,
+                     int capacity) {
+  if (capacity <= 0) {
+    return {};
+  }
+  History next = history;
+  next.push_back(location);
+  while (static_cast<int>(next.size()) > capacity) {
+    next.erase(next.begin());
+  }
+  return next;
+}
+
+/// Candidate next locations allowed by D given B and the history.
+std::vector<wsn::NodeId> allowed_moves(const Search& search,
+                                       wsn::NodeId location,
+                                       const History& history) {
+  const std::vector<wsn::NodeId> heard = lowest_slot_neighbors(
+      search.graph, search.schedule, location, search.attacker.messages_per_move);
+  if (heard.empty()) {
+    return {};
+  }
+  switch (search.attacker.policy) {
+    case DPolicy::kMinSlot:
+      // lowest_slot_neighbors returns ascending slot order.
+      return {heard.front()};
+    case DPolicy::kAnyHeard:
+      return heard;
+    case DPolicy::kHistoryAvoidingMinSlot: {
+      for (wsn::NodeId candidate : heard) {
+        if (std::find(history.begin(), history.end(), candidate) ==
+            history.end()) {
+          return {candidate};
+        }
+      }
+      return heard;  // everything heard was visited: fall back to all of B
+    }
+  }
+  return {};
+}
+
+/// Period cost of stepping location -> next (Algorithm 1 lines 10-12):
+/// 1 when the destination fires earlier (wait for the next period),
+/// 0 when it fires later in the same period (requires moves < M).
+int step_cost(const Search& search, wsn::NodeId location, wsn::NodeId next) {
+  return search.schedule.slot(location) > search.schedule.slot(next) ? 1 : 0;
+}
+
+struct BfsOutcome {
+  std::optional<int> capture_period;
+  std::vector<wsn::NodeId> trace;
+};
+
+/// 0-1 BFS over (location, moves, history) states; periods are the 0/1 edge
+/// weights, so the first time the source is settled gives the minimum
+/// capture period.
+BfsOutcome bfs_capture(const Search& search) {
+  struct Node {
+    StateKey key;
+    int period;
+  };
+  // Settled best periods and predecessor links for trace recovery.
+  std::map<StateKey, int> best;
+  std::map<StateKey, StateKey> predecessor;
+
+  const int history_capacity =
+      search.attacker.policy == DPolicy::kHistoryAvoidingMinSlot
+          ? search.attacker.history_size
+          : 0;
+
+  const StateKey start{search.attacker.start, 0, History{}};
+  std::deque<Node> queue;
+  best[start] = 0;
+  queue.push_back({start, 0});
+
+  while (!queue.empty()) {
+    Node current = queue.front();
+    queue.pop_front();
+    const auto& [location, moves, history] = current.key;
+    if (current.period > best.at(current.key)) {
+      continue;  // stale queue entry
+    }
+    if (current.period > search.delta) {
+      continue;
+    }
+    if (location == search.source) {
+      // Recover the location trace by walking predecessors.
+      std::vector<wsn::NodeId> trace;
+      StateKey at = current.key;
+      trace.push_back(std::get<0>(at));
+      while (predecessor.contains(at)) {
+        at = predecessor.at(at);
+        trace.push_back(std::get<0>(at));
+      }
+      std::reverse(trace.begin(), trace.end());
+      return {current.period, std::move(trace)};
+    }
+    if (!search.schedule.assigned(location)) {
+      continue;  // silent location: the attacker hears nothing new
+    }
+    for (wsn::NodeId next : allowed_moves(search, location, history)) {
+      const int cost = step_cost(search, location, next);
+      int next_moves;
+      if (cost == 1) {
+        next_moves = 1;  // new period: this is the first move in it
+      } else {
+        if (moves >= search.attacker.moves_per_period) {
+          continue;  // Algorithm 1 line 11: move budget exhausted
+        }
+        next_moves = moves + 1;
+      }
+      const int next_period = current.period + cost;
+      if (next_period > search.delta) {
+        continue;
+      }
+      StateKey next_key{next, next_moves,
+                        push_history(history, location, history_capacity)};
+      const auto it = best.find(next_key);
+      if (it != best.end() && it->second <= next_period) {
+        continue;
+      }
+      best[next_key] = next_period;
+      predecessor[next_key] = current.key;
+      if (cost == 0) {
+        queue.push_front({next_key, next_period});
+      } else {
+        queue.push_back({next_key, next_period});
+      }
+    }
+  }
+  return {std::nullopt, {}};
+}
+
+/// Literal Algorithm 1: depth-first enumeration of attacker traces with a
+/// visited-state set standing in for the explicit trace set P.
+struct DfsEngine {
+  const Search& search;
+  std::map<std::tuple<wsn::NodeId, int, int, History>, bool> memo;
+  std::vector<wsn::NodeId> trace;
+
+  bool captures(wsn::NodeId location, int period, int moves,
+                const History& history) {
+    if (location == search.source) {
+      return period <= search.delta;
+    }
+    if (period > search.delta || !search.schedule.assigned(location)) {
+      return false;
+    }
+    const auto key = std::make_tuple(location, period, moves, history);
+    if (const auto it = memo.find(key); it != memo.end()) {
+      return it->second;
+    }
+    memo[key] = false;  // cycle guard
+    const int history_capacity =
+        search.attacker.policy == DPolicy::kHistoryAvoidingMinSlot
+            ? search.attacker.history_size
+            : 0;
+    bool found = false;
+    for (wsn::NodeId next : allowed_moves(search, location, history)) {
+      int next_period = period;
+      int next_moves;
+      if (step_cost(search, location, next) == 1) {
+        next_period = period + 1;
+        next_moves = 1;
+      } else if (moves >= search.attacker.moves_per_period) {
+        continue;
+      } else {
+        next_moves = moves + 1;
+      }
+      trace.push_back(next);
+      if (captures(next, next_period, next_moves,
+                   push_history(history, location, history_capacity))) {
+        found = true;
+        break;
+      }
+      trace.pop_back();
+    }
+    memo[key] = found;
+    return found;
+  }
+};
+
+void validate(const Search& search) {
+  if (!search.graph.contains(search.source)) {
+    throw std::out_of_range("verify_schedule: source out of range");
+  }
+  if (!search.graph.contains(search.attacker.start)) {
+    throw std::out_of_range("verify_schedule: attacker start out of range");
+  }
+  if (search.attacker.messages_per_move < 1 ||
+      search.attacker.moves_per_period < 1 || search.attacker.history_size < 0) {
+    throw std::invalid_argument("verify_schedule: invalid attacker parameters");
+  }
+  if (search.delta < 0) {
+    throw std::invalid_argument("verify_schedule: negative safety period");
+  }
+  if (search.schedule.node_count() != search.graph.node_count()) {
+    throw std::invalid_argument("verify_schedule: schedule/graph size mismatch");
+  }
+}
+
+}  // namespace
+
+const char* to_string(DPolicy policy) noexcept {
+  switch (policy) {
+    case DPolicy::kMinSlot:
+      return "min-slot";
+    case DPolicy::kAnyHeard:
+      return "any-heard";
+    case DPolicy::kHistoryAvoidingMinSlot:
+      return "history-avoiding-min-slot";
+  }
+  return "unknown";
+}
+
+std::string VerifyResult::to_string() const {
+  if (slp_aware) {
+    return "slp-aware (no capture within " + std::to_string(period) +
+           " periods)";
+  }
+  std::string out = "captured in period " + std::to_string(period) + " via";
+  for (wsn::NodeId node : counterexample) {
+    out += ' ' + std::to_string(node);
+  }
+  return out;
+}
+
+std::vector<wsn::NodeId> lowest_slot_neighbors(const wsn::Graph& graph,
+                                               const mac::Schedule& schedule,
+                                               wsn::NodeId node, int count) {
+  if (count < 1) {
+    throw std::invalid_argument("lowest_slot_neighbors: count must be >= 1");
+  }
+  std::vector<wsn::NodeId> assigned;
+  for (wsn::NodeId neighbor : graph.neighbors(node)) {
+    if (schedule.assigned(neighbor)) {
+      assigned.push_back(neighbor);
+    }
+  }
+  std::sort(assigned.begin(), assigned.end(),
+            [&schedule](wsn::NodeId a, wsn::NodeId b) {
+              if (schedule.slot(a) != schedule.slot(b)) {
+                return schedule.slot(a) < schedule.slot(b);
+              }
+              return a < b;
+            });
+  if (static_cast<int>(assigned.size()) > count) {
+    assigned.resize(static_cast<std::size_t>(count));
+  }
+  return assigned;
+}
+
+VerifyResult verify_schedule(const wsn::Graph& graph,
+                             const mac::Schedule& schedule,
+                             const VerifyAttacker& attacker, int delta,
+                             wsn::NodeId source) {
+  const Search search{graph, schedule, attacker, source, delta};
+  validate(search);
+  const BfsOutcome outcome = bfs_capture(search);
+  VerifyResult result;
+  if (outcome.capture_period && *outcome.capture_period <= delta) {
+    result.slp_aware = false;
+    result.counterexample = outcome.trace;
+    result.period = *outcome.capture_period;
+  } else {
+    result.slp_aware = true;
+    result.period = delta;
+  }
+  return result;
+}
+
+VerifyResult verify_schedule_exhaustive(const wsn::Graph& graph,
+                                        const mac::Schedule& schedule,
+                                        const VerifyAttacker& attacker,
+                                        int delta, wsn::NodeId source) {
+  const Search search{graph, schedule, attacker, source, delta};
+  validate(search);
+  DfsEngine engine{search, {}, {attacker.start}};
+  VerifyResult result;
+  if (engine.captures(attacker.start, 0, 0, History{})) {
+    result.slp_aware = false;
+    result.counterexample = engine.trace;
+    // The DFS finds some capturing trace; count its period cost exactly.
+    int period = 0;
+    for (std::size_t i = 0; i + 1 < engine.trace.size(); ++i) {
+      if (schedule.slot(engine.trace[i]) > schedule.slot(engine.trace[i + 1])) {
+        ++period;
+      }
+    }
+    result.period = period;
+  } else {
+    result.slp_aware = true;
+    result.period = delta;
+  }
+  return result;
+}
+
+std::optional<int> min_capture_period(const wsn::Graph& graph,
+                                      const mac::Schedule& schedule,
+                                      const VerifyAttacker& attacker,
+                                      wsn::NodeId source, int period_cap) {
+  const Search search{graph, schedule, attacker, source, period_cap};
+  validate(search);
+  return bfs_capture(search).capture_period;
+}
+
+}  // namespace slpdas::verify

@@ -1,0 +1,82 @@
+#include "slpdas/wsn/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace slpdas::wsn {
+
+Graph::Graph(NodeId node_count) {
+  if (node_count < 0) {
+    throw std::invalid_argument("Graph: negative node count");
+  }
+  adjacency_.resize(static_cast<std::size_t>(node_count));
+}
+
+void Graph::check_node(NodeId node) const {
+  if (!contains(node)) {
+    throw std::out_of_range("Graph: node id " + std::to_string(node) +
+                            " out of range [0, " +
+                            std::to_string(node_count()) + ")");
+  }
+}
+
+void Graph::add_edge(NodeId a, NodeId b) {
+  check_node(a);
+  check_node(b);
+  if (a == b) {
+    throw std::invalid_argument("Graph: self loop at node " +
+                                std::to_string(a));
+  }
+  if (has_edge(a, b)) {
+    throw std::invalid_argument("Graph: duplicate edge {" + std::to_string(a) +
+                                ", " + std::to_string(b) + "}");
+  }
+  auto insert_sorted = [](std::vector<NodeId>& list, NodeId value) {
+    list.insert(std::lower_bound(list.begin(), list.end(), value), value);
+  };
+  insert_sorted(adjacency_[static_cast<std::size_t>(a)], b);
+  insert_sorted(adjacency_[static_cast<std::size_t>(b)], a);
+  ++edge_count_;
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  const auto& list = adjacency_[static_cast<std::size_t>(a)];
+  return std::binary_search(list.begin(), list.end(), b);
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId node) const {
+  check_node(node);
+  return adjacency_[static_cast<std::size_t>(node)];
+}
+
+std::vector<NodeId> Graph::two_hop_neighborhood(NodeId node) const {
+  check_node(node);
+  std::vector<NodeId> result;
+  for (NodeId one_hop : neighbors(node)) {
+    result.push_back(one_hop);
+    for (NodeId two_hop : neighbors(one_hop)) {
+      if (two_hop != node) {
+        result.push_back(two_hop);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+std::vector<NodeId> Graph::nodes() const {
+  std::vector<NodeId> ids(static_cast<std::size_t>(node_count()));
+  std::iota(ids.begin(), ids.end(), NodeId{0});
+  return ids;
+}
+
+std::string Graph::to_string() const {
+  return "Graph(V=" + std::to_string(node_count()) +
+         ", E=" + std::to_string(edge_count_) + ")";
+}
+
+}  // namespace slpdas::wsn

@@ -1,0 +1,110 @@
+// Tests for the attacker decision functions and parameter validation
+// (paper Figure 1).
+#include "slpdas/attacker/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace slpdas::attacker {
+namespace {
+
+const std::vector<HeardMessage> kMessages{
+    {.sender = 7, .sender_slot = 12},
+    {.sender = 3, .sender_slot = 4},
+    {.sender = 9, .sender_slot = 30},
+};
+
+TEST(FirstHeardDTest, PicksFirstMessage) {
+  FirstHeardD d;
+  Rng rng(1);
+  EXPECT_EQ(d.decide(kMessages, {}, rng), 7);
+  EXPECT_EQ(d.decide({}, {}, rng), wsn::kNoNode);
+  EXPECT_EQ(d.name(), "first-heard");
+}
+
+TEST(MinSlotDTest, PicksEarliestTransmitter) {
+  MinSlotD d;
+  Rng rng(1);
+  EXPECT_EQ(d.decide(kMessages, {}, rng), 3);
+  EXPECT_EQ(d.decide({}, {}, rng), wsn::kNoNode);
+}
+
+TEST(MinSlotDTest, TieBreaksById) {
+  MinSlotD d;
+  Rng rng(1);
+  const std::vector<HeardMessage> tie{{.sender = 9, .sender_slot = 4},
+                                      {.sender = 3, .sender_slot = 4}};
+  EXPECT_EQ(d.decide(tie, {}, rng), 3);
+}
+
+TEST(HistoryAvoidingDTest, SkipsVisitedLocations) {
+  HistoryAvoidingD d;
+  Rng rng(1);
+  const std::deque<wsn::NodeId> history{3};
+  EXPECT_EQ(d.decide(kMessages, history, rng), 7);  // 3 avoided, next-min is 7
+}
+
+TEST(HistoryAvoidingDTest, FallsBackWhenAllVisited) {
+  HistoryAvoidingD d;
+  Rng rng(1);
+  const std::deque<wsn::NodeId> history{3, 7, 9};
+  EXPECT_EQ(d.decide(kMessages, history, rng), 3);  // min slot of everything
+}
+
+TEST(RandomChoiceDTest, OnlyReturnsHeardSenders) {
+  RandomChoiceD d;
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const auto choice = d.decide(kMessages, {}, rng);
+    EXPECT_TRUE(choice == 7 || choice == 3 || choice == 9);
+  }
+  EXPECT_EQ(d.decide({}, {}, rng), wsn::kNoNode);
+}
+
+TEST(RandomChoiceDTest, EventuallyPicksEveryone) {
+  RandomChoiceD d;
+  Rng rng(6);
+  std::set<wsn::NodeId> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(d.decide(kMessages, {}, rng));
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(AttackerParamsTest, ValidationAndDefaults) {
+  AttackerParams params;
+  params.start = 0;
+  params.validate_and_default();
+  EXPECT_NE(params.decision, nullptr);
+  EXPECT_EQ(params.label(), "(1,0,1)-first-heard");
+
+  AttackerParams bad;
+  bad.messages_per_move = 0;
+  EXPECT_THROW(bad.validate_and_default(), std::invalid_argument);
+  bad = {};
+  bad.history_size = -1;
+  EXPECT_THROW(bad.validate_and_default(), std::invalid_argument);
+  bad = {};
+  bad.moves_per_period = 0;
+  EXPECT_THROW(bad.validate_and_default(), std::invalid_argument);
+}
+
+TEST(AttackerParamsTest, LabelReflectsParameters) {
+  AttackerParams params;
+  params.messages_per_move = 2;
+  params.history_size = 3;
+  params.moves_per_period = 4;
+  params.decision = make_min_slot();
+  EXPECT_EQ(params.label(), "(2,3,4)-min-slot");
+}
+
+TEST(FactoryTest, NamesMatch) {
+  EXPECT_EQ(make_first_heard()->name(), "first-heard");
+  EXPECT_EQ(make_min_slot()->name(), "min-slot");
+  EXPECT_EQ(make_history_avoiding()->name(), "history-avoiding");
+  EXPECT_EQ(make_random_choice()->name(), "random-choice");
+}
+
+}  // namespace
+}  // namespace slpdas::attacker

@@ -1,0 +1,59 @@
+// Tests for the first-order radio energy model.
+#include "slpdas/sim/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace slpdas::sim {
+namespace {
+
+TEST(EnergyModelTest, IdleOnlyNode) {
+  const TrafficCounters traffic;
+  const EnergyConfig config;
+  // 10 s idle at 60 uW = 600 uJ = 0.6 mJ.
+  EXPECT_NEAR(node_energy_mj(traffic, 10 * kSecond, config), 0.6, 1e-9);
+}
+
+TEST(EnergyModelTest, TrafficCosts) {
+  TrafficCounters traffic;
+  traffic.sent = 10;
+  traffic.bytes_sent = 100;
+  traffic.received = 20;
+  EnergyConfig config;
+  config.idle_uw = 0.0;
+  // 100 B * 1.6 + 10 * 12 + 20 * 14 = 160 + 120 + 280 = 560 uJ.
+  EXPECT_NEAR(node_energy_mj(traffic, kSecond, config), 0.56, 1e-9);
+}
+
+TEST(EnergyModelTest, NegativeDurationRejected) {
+  EXPECT_THROW((void)node_energy_mj(TrafficCounters{}, -1), std::invalid_argument);
+}
+
+TEST(EnergyModelTest, TotalSumsAllNodes) {
+  auto net = test::make_protectionless_net(wsn::make_grid(3),
+                                           test::fast_parameters(12), 1);
+  net.simulator->run_until(net.setup_end());
+  double manual = 0.0;
+  for (wsn::NodeId n = 0; n < 9; ++n) {
+    manual += node_energy_mj(net.simulator->traffic(n), net.simulator->now());
+  }
+  EXPECT_NEAR(total_energy_mj(*net.simulator), manual, 1e-9);
+  EXPECT_GT(manual, 0.0);
+}
+
+TEST(EnergyModelTest, MoreTrafficCostsMoreEnergy) {
+  auto quiet = test::make_protectionless_net(wsn::make_grid(3),
+                                             test::fast_parameters(12), 2);
+  quiet.simulator->run_until(quiet.setup_end());
+  auto busy = test::make_protectionless_net(wsn::make_grid(3),
+                                            test::fast_parameters(12), 2);
+  busy.simulator->run_until(busy.setup_end() + 10 * busy.period());
+  EnergyConfig config;
+  config.idle_uw = 0.0;  // isolate traffic cost from runtime length
+  EXPECT_GT(total_energy_mj(*busy.simulator, config),
+            total_energy_mj(*quiet.simulator, config));
+}
+
+}  // namespace
+}  // namespace slpdas::sim

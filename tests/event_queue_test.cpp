@@ -1,0 +1,78 @@
+// Tests for the deterministic event queue: time ordering plus FIFO
+// tie-breaking, the property that makes runs reproducible.
+#include "slpdas/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace slpdas::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.push(30, [&] { order.push_back(3); });
+  queue.push(10, [&] { order.push_back(1); });
+  queue.push(20, [&] { order.push_back(2); });
+  SimTime now = 0;
+  while (!queue.empty()) {
+    auto action = queue.pop(now);
+    action();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(now, 30);
+}
+
+TEST(EventQueueTest, EqualTimesFireInInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    queue.push(5, [&order, i] { order.push_back(i); });
+  }
+  SimTime now = 0;
+  while (!queue.empty()) {
+    queue.pop(now)();
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, NextTimeReportsHead) {
+  EventQueue queue;
+  queue.push(42, [] {});
+  queue.push(7, [] {});
+  EXPECT_EQ(queue.next_time(), 7);
+}
+
+TEST(EventQueueTest, InterleavedPushPopKeepsOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.push(10, [&] { order.push_back(1); });
+  SimTime now = 0;
+  queue.pop(now)();
+  queue.push(5, [&] { order.push_back(2); });   // earlier absolute time,
+  queue.push(20, [&] { order.push_back(3); });  // pushed later
+  while (!queue.empty()) {
+    queue.pop(now)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, ClearDropsEverything) {
+  EventQueue queue;
+  queue.push(1, [] {});
+  queue.push(2, [] {});
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+}
+
+}  // namespace
+}  // namespace slpdas::sim

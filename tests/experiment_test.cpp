@@ -1,0 +1,146 @@
+// Tests for the experiment harness (run_single / run_experiment).
+#include "slpdas/core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace slpdas::core {
+namespace {
+
+ExperimentConfig small_config(ProtocolKind protocol, RadioKind radio,
+                              int runs = 4) {
+  ExperimentConfig config;
+  config.topology = wsn::make_grid(5);
+  config.protocol = protocol;
+  config.parameters = test::fast_parameters(24);
+  config.radio = radio;
+  config.runs = runs;
+  config.base_seed = 7;
+  config.threads = 2;
+  return config;
+}
+
+TEST(RunSingleTest, DeterministicForSeed) {
+  const auto config =
+      small_config(ProtocolKind::kProtectionlessDas, RadioKind::kCasinoLab);
+  const RunResult a = run_single(config, 123);
+  const RunResult b = run_single(config, 123);
+  EXPECT_EQ(a.captured, b.captured);
+  EXPECT_EQ(a.capture_time_s, b.capture_time_s);
+  EXPECT_EQ(a.control_messages_per_node, b.control_messages_per_node);
+  EXPECT_EQ(a.normal_messages_per_node, b.normal_messages_per_node);
+  EXPECT_EQ(a.attacker_moves, b.attacker_moves);
+}
+
+TEST(RunSingleTest, ReportsScheduleValidity) {
+  const auto config =
+      small_config(ProtocolKind::kProtectionlessDas, RadioKind::kIdeal);
+  const RunResult result = run_single(config, 5);
+  EXPECT_TRUE(result.schedule_complete);
+  EXPECT_TRUE(result.weak_das_ok);
+  // Strong DAS is reported but not guaranteed: Phase 1 only orders a node
+  // after its chosen parent, not after every shortest-path neighbour.
+}
+
+TEST(RunSingleTest, SafetyPeriodFieldsFilled) {
+  const auto config =
+      small_config(ProtocolKind::kProtectionlessDas, RadioKind::kIdeal);
+  const RunResult result = run_single(config, 5);
+  EXPECT_EQ(result.source_sink_distance, 4);  // 5x5 grid corner->centre
+  EXPECT_EQ(result.safety_periods, 8);        // ceil(1.5 * 5)
+}
+
+TEST(RunSingleTest, CaptureTimeWithinSafetyWhenCaptured) {
+  const auto config =
+      small_config(ProtocolKind::kProtectionlessDas, RadioKind::kIdeal);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const RunResult result = run_single(config, seed);
+    if (result.captured) {
+      ASSERT_TRUE(result.capture_time_s.has_value());
+      const double safety_s =
+          result.safety_periods *
+          sim::to_seconds(config.parameters.frame().period());
+      EXPECT_LE(*result.capture_time_s, safety_s);
+    }
+  }
+}
+
+TEST(RunSingleTest, SlpRunsProduceValidSchedulesToo) {
+  const auto config = small_config(ProtocolKind::kSlpDas, RadioKind::kIdeal);
+  const RunResult result = run_single(config, 9);
+  EXPECT_TRUE(result.schedule_complete);
+  EXPECT_TRUE(result.weak_das_ok);
+}
+
+TEST(RunSingleTest, InvalidTopologyRejected) {
+  auto config =
+      small_config(ProtocolKind::kProtectionlessDas, RadioKind::kIdeal);
+  config.topology.source = config.topology.sink;
+  EXPECT_THROW((void)run_single(config, 1), std::invalid_argument);
+}
+
+TEST(RunExperimentTest, AggregatesAllRuns) {
+  const auto config =
+      small_config(ProtocolKind::kProtectionlessDas, RadioKind::kCasinoLab, 6);
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_EQ(result.runs, 6);
+  EXPECT_EQ(result.capture.trials(), 6u);
+  EXPECT_EQ(result.delivery_ratio.count(), 6u);
+  EXPECT_GE(result.capture.ratio(), 0.0);
+  EXPECT_LE(result.capture.ratio(), 1.0);
+}
+
+TEST(RunExperimentTest, ThreadCountDoesNotChangeResults) {
+  auto config =
+      small_config(ProtocolKind::kProtectionlessDas, RadioKind::kCasinoLab, 6);
+  config.threads = 1;
+  const auto serial = run_experiment(config);
+  config.threads = 4;
+  const auto parallel = run_experiment(config);
+  EXPECT_EQ(serial.capture.successes(), parallel.capture.successes());
+  EXPECT_DOUBLE_EQ(serial.control_messages_per_node.mean(),
+                   parallel.control_messages_per_node.mean());
+}
+
+TEST(RunExperimentTest, RejectsZeroRuns) {
+  auto config =
+      small_config(ProtocolKind::kProtectionlessDas, RadioKind::kIdeal);
+  config.runs = 0;
+  EXPECT_THROW((void)run_experiment(config), std::invalid_argument);
+}
+
+TEST(RunExperimentTest, SlpOverheadIsSmall) {
+  const auto base = run_experiment(
+      small_config(ProtocolKind::kProtectionlessDas, RadioKind::kIdeal, 3));
+  const auto slp =
+      run_experiment(small_config(ProtocolKind::kSlpDas, RadioKind::kIdeal, 3));
+  // The paper's "negligible message overhead": a few control messages per
+  // node extra at most.
+  EXPECT_LT(slp.control_messages_per_node.mean(),
+            base.control_messages_per_node.mean() + 5.0);
+}
+
+TEST(AttackerSpecTest, BuildAndLabel) {
+  AttackerSpec spec;
+  spec.messages_per_move = 2;
+  spec.history_size = 1;
+  spec.moves_per_period = 2;
+  spec.decision = AttackerSpec::Decision::kHistoryAvoiding;
+  const auto params = spec.build(3);
+  EXPECT_EQ(params.start, 3);
+  EXPECT_EQ(params.decision->name(), "history-avoiding");
+  EXPECT_EQ(spec.label(), "(2,1,2)-history-avoiding");
+}
+
+TEST(EnumLabelTest, Names) {
+  EXPECT_STREQ(to_string(ProtocolKind::kProtectionlessDas),
+               "protectionless-das");
+  EXPECT_STREQ(to_string(ProtocolKind::kSlpDas), "slp-das");
+  EXPECT_STREQ(to_string(RadioKind::kIdeal), "ideal");
+  EXPECT_STREQ(to_string(RadioKind::kLossy), "lossy");
+  EXPECT_STREQ(to_string(RadioKind::kCasinoLab), "casino-lab");
+}
+
+}  // namespace
+}  // namespace slpdas::core

@@ -1,0 +1,112 @@
+// Failure-injection tests: the setup protocol must converge to a valid
+// weak DAS despite lost, duplicated and reordered control messages.
+#include <gtest/gtest.h>
+
+#include "slpdas/verify/das_checker.hpp"
+#include "test_util.hpp"
+
+namespace slpdas {
+namespace {
+
+using test::fast_parameters;
+using test::make_protectionless_net;
+using test::make_slp_net;
+using test::run_setup;
+
+TEST(FailureInjectionTest, ConvergesUnderModerateUniformLoss) {
+  int complete = 0;
+  const int seeds = 8;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    auto net = make_protectionless_net(wsn::make_grid(5), fast_parameters(40),
+                                       seed, sim::make_lossy_radio(0.10));
+    run_setup(net);
+    const auto schedule = das::extract_schedule(*net.simulator);
+    if (schedule.complete() &&
+        verify::check_weak_das(net.topology.graph, schedule, net.topology.sink)
+            .ok()) {
+      ++complete;
+    }
+  }
+  // 10% i.i.d. loss with DT retransmissions: essentially every run must
+  // still converge to a valid weak DAS.
+  EXPECT_GE(complete, seeds - 1);
+}
+
+TEST(FailureInjectionTest, ConvergesUnderHeavyLossGivenMoreTime) {
+  auto net = make_protectionless_net(wsn::make_grid(5), fast_parameters(60),
+                                     3, sim::make_lossy_radio(0.25));
+  run_setup(net);
+  const auto schedule = das::extract_schedule(*net.simulator);
+  EXPECT_TRUE(schedule.complete());
+  const auto weak =
+      verify::check_weak_das(net.topology.graph, schedule, net.topology.sink);
+  EXPECT_TRUE(weak.ok()) << weak.summary();
+}
+
+TEST(FailureInjectionTest, SlpSurvivesLossySearchPhase) {
+  // Even when SEARCH/CHANGE messages can be lost, the schedule must remain
+  // a valid weak DAS (the decoy is best-effort; validity is mandatory).
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    auto net = make_slp_net(wsn::make_grid(7), fast_parameters(40), seed,
+                            sim::make_lossy_radio(0.15));
+    run_setup(net);
+    const auto schedule = das::extract_schedule(*net.simulator);
+    EXPECT_TRUE(schedule.complete()) << "seed " << seed;
+    const auto weak = verify::check_weak_das(net.topology.graph, schedule,
+                                             net.topology.sink);
+    EXPECT_TRUE(weak.ok()) << "seed " << seed << ": " << weak.summary();
+  }
+}
+
+/// A radio that duplicates every Nth delivery decision window by always
+/// delivering, and otherwise randomly drops: exercises duplicate-ish and
+/// reordered arrivals through jittered control traffic.
+class FlakyRadio final : public sim::RadioModel {
+ public:
+  bool delivered(wsn::NodeId, wsn::NodeId, sim::SimTime, Rng& rng) override {
+    ++calls_;
+    if (calls_ % 7 == 0) {
+      return true;
+    }
+    return !rng.bernoulli(0.2);
+  }
+
+ private:
+  std::uint64_t calls_ = 0;
+};
+
+TEST(FailureInjectionTest, ConvergesUnderPatternedFlakiness) {
+  auto net = make_protectionless_net(wsn::make_grid(5), fast_parameters(48), 9,
+                                     std::make_unique<FlakyRadio>());
+  run_setup(net);
+  const auto schedule = das::extract_schedule(*net.simulator);
+  EXPECT_TRUE(schedule.complete());
+  EXPECT_TRUE(verify::check_weak_das(net.topology.graph, schedule,
+                                     net.topology.sink)
+                  .ok());
+}
+
+TEST(FailureInjectionTest, BurstDuringSetupDelaysButDoesNotCorrupt) {
+  // A long interference burst right at the start of setup: convergence may
+  // be late but never produces an order violation.
+  sim::CasinoLabParams noise;
+  noise.quiet_loss = 0.01;
+  noise.burst_loss = 0.75;
+  noise.mean_quiet = sim::from_seconds(3.0);
+  noise.mean_burst = sim::from_seconds(1.0);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto net = make_protectionless_net(wsn::make_grid(5), fast_parameters(60),
+                                       seed, sim::make_casino_lab_noise(noise));
+    run_setup(net);
+    const auto schedule = das::extract_schedule(*net.simulator);
+    if (!schedule.complete()) {
+      continue;  // a late run is acceptable; corruption is not
+    }
+    const auto weak = verify::check_weak_das(net.topology.graph, schedule,
+                                             net.topology.sink);
+    EXPECT_TRUE(weak.ok()) << "seed " << seed << ": " << weak.summary();
+  }
+}
+
+}  // namespace
+}  // namespace slpdas

@@ -1,0 +1,67 @@
+// Tests for TDMA frame timing against the paper's Table I constants.
+#include "slpdas/mac/frame.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slpdas::mac {
+namespace {
+
+TEST(FrameTest, PaperDefaultsGiveFiveAndAHalfSecondPeriod) {
+  const FrameConfig frame;
+  // 0.5 s dissemination + 100 x 0.05 s slots = 5.5 s = the source period.
+  EXPECT_EQ(frame.period(), sim::from_seconds(5.5));
+}
+
+TEST(FrameTest, SlotValidity) {
+  const FrameConfig frame;
+  EXPECT_FALSE(frame.valid_slot(0));
+  EXPECT_TRUE(frame.valid_slot(1));
+  EXPECT_TRUE(frame.valid_slot(100));
+  EXPECT_FALSE(frame.valid_slot(101));
+  EXPECT_FALSE(frame.valid_slot(-3));
+}
+
+TEST(FrameTest, ClampSlotPreservesInRangeValues) {
+  const FrameConfig frame;
+  EXPECT_EQ(frame.clamp_slot(-7), 1);
+  EXPECT_EQ(frame.clamp_slot(1), 1);
+  EXPECT_EQ(frame.clamp_slot(57), 57);
+  EXPECT_EQ(frame.clamp_slot(900), 100);
+}
+
+TEST(FrameTest, SlotOffsetsAreContiguous) {
+  const FrameConfig frame;
+  EXPECT_EQ(frame.slot_offset(1), frame.dissem_period);
+  EXPECT_EQ(frame.slot_offset(2) - frame.slot_offset(1), frame.slot_period);
+  EXPECT_EQ(frame.slot_offset(100) + frame.slot_period, frame.period());
+  EXPECT_THROW((void)frame.slot_offset(0), std::out_of_range);
+  EXPECT_THROW((void)frame.slot_offset(101), std::out_of_range);
+}
+
+TEST(FrameTest, TransmitTimeComposesPeriodAndOffset) {
+  const FrameConfig frame;
+  EXPECT_EQ(frame.transmit_time(0, 1), frame.dissem_period);
+  EXPECT_EQ(frame.transmit_time(3, 10),
+            3 * frame.period() + frame.slot_offset(10));
+}
+
+TEST(FrameTest, PeriodOfInvertsPeriodStart) {
+  const FrameConfig frame;
+  for (std::int64_t p : {0, 1, 7, 80}) {
+    EXPECT_EQ(frame.period_of(frame.period_start(p)), p);
+    EXPECT_EQ(frame.period_of(frame.period_start(p) + frame.period() - 1), p);
+  }
+  EXPECT_EQ(frame.period_of(-5), 0);
+}
+
+TEST(FrameTest, CustomLayout) {
+  FrameConfig frame;
+  frame.slot_count = 10;
+  frame.slot_period = sim::from_seconds(0.1);
+  frame.dissem_period = sim::from_seconds(0.2);
+  EXPECT_EQ(frame.period(), sim::from_seconds(1.2));
+  EXPECT_EQ(frame.slot_offset(10), sim::from_seconds(1.1));
+}
+
+}  // namespace
+}  // namespace slpdas::mac

@@ -1,0 +1,99 @@
+// Unit tests for slpdas::wsn::Graph, including the 2-hop neighbourhood
+// CG(n) that Definition 1 (non-colliding slots) quantifies over.
+#include "slpdas/wsn/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace slpdas::wsn {
+namespace {
+
+TEST(GraphTest, EmptyGraphHasNoNodesOrEdges) {
+  const Graph graph;
+  EXPECT_EQ(graph.node_count(), 0);
+  EXPECT_EQ(graph.edge_count(), 0u);
+  EXPECT_FALSE(graph.contains(0));
+}
+
+TEST(GraphTest, NegativeNodeCountRejected) {
+  EXPECT_THROW(Graph(-1), std::invalid_argument);
+}
+
+TEST(GraphTest, AddEdgeConnectsBothDirections) {
+  Graph graph(3);
+  graph.add_edge(0, 2);
+  EXPECT_TRUE(graph.has_edge(0, 2));
+  EXPECT_TRUE(graph.has_edge(2, 0));
+  EXPECT_FALSE(graph.has_edge(0, 1));
+  EXPECT_EQ(graph.edge_count(), 1u);
+}
+
+TEST(GraphTest, SelfLoopRejected) {
+  Graph graph(2);
+  EXPECT_THROW(graph.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(GraphTest, DuplicateEdgeRejected) {
+  Graph graph(2);
+  graph.add_edge(0, 1);
+  EXPECT_THROW(graph.add_edge(0, 1), std::invalid_argument);
+  EXPECT_THROW(graph.add_edge(1, 0), std::invalid_argument);
+}
+
+TEST(GraphTest, OutOfRangeNodeRejected) {
+  Graph graph(2);
+  EXPECT_THROW(graph.add_edge(0, 2), std::out_of_range);
+  EXPECT_THROW(graph.add_edge(-1, 0), std::out_of_range);
+  EXPECT_THROW((void)graph.neighbors(5), std::out_of_range);
+}
+
+TEST(GraphTest, NeighborsAreSorted) {
+  Graph graph(5);
+  graph.add_edge(2, 4);
+  graph.add_edge(2, 0);
+  graph.add_edge(2, 3);
+  const auto neighbors = graph.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(neighbors.begin(), neighbors.end()));
+  EXPECT_EQ(neighbors.size(), 3u);
+  EXPECT_EQ(graph.degree(2), 3u);
+}
+
+TEST(GraphTest, TwoHopNeighborhoodOnPath) {
+  // 0 - 1 - 2 - 3 - 4: CG(2) = {0, 1, 3, 4}.
+  Graph graph(5);
+  for (NodeId i = 0; i < 4; ++i) {
+    graph.add_edge(i, i + 1);
+  }
+  const auto cg2 = graph.two_hop_neighborhood(2);
+  EXPECT_EQ(cg2, (std::vector<NodeId>{0, 1, 3, 4}));
+  const auto cg0 = graph.two_hop_neighborhood(0);
+  EXPECT_EQ(cg0, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(GraphTest, TwoHopNeighborhoodExcludesSelfAndDeduplicates) {
+  // Triangle: every node's CG is the other two, once each.
+  Graph graph(3);
+  graph.add_edge(0, 1);
+  graph.add_edge(1, 2);
+  graph.add_edge(0, 2);
+  for (NodeId n = 0; n < 3; ++n) {
+    const auto cg = graph.two_hop_neighborhood(n);
+    EXPECT_EQ(cg.size(), 2u);
+    EXPECT_EQ(std::count(cg.begin(), cg.end(), n), 0);
+  }
+}
+
+TEST(GraphTest, NodesEnumeratesAllIds) {
+  const Graph graph(4);
+  EXPECT_EQ(graph.nodes(), (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(GraphTest, ToStringSummarises) {
+  Graph graph(2);
+  graph.add_edge(0, 1);
+  EXPECT_EQ(graph.to_string(), "Graph(V=2, E=1)");
+}
+
+}  // namespace
+}  // namespace slpdas::wsn

@@ -1,0 +1,123 @@
+// Tests for the aggregation-latency metric, decoy extraction and schedule
+// diffing — the observability APIs layered on the protocols.
+#include <gtest/gtest.h>
+
+#include "slpdas/mac/schedule_io.hpp"
+#include "slpdas/slp/slp_das.hpp"
+#include "test_util.hpp"
+
+namespace slpdas {
+namespace {
+
+using test::fast_parameters;
+using test::make_protectionless_net;
+using test::make_slp_net;
+using test::run_setup;
+
+TEST(DeliveryLatencyTest, WithinOnePeriodOnValidDas) {
+  // The defining benefit of a DAS: children fire before parents, so a
+  // datum generated at a period's start reaches the sink the same period.
+  auto net = make_protectionless_net(wsn::make_grid(5), fast_parameters(), 1);
+  net.simulator->run_until(net.setup_end() + 10 * net.period());
+  const auto& sink = net.node(net.topology.sink);
+  ASSERT_GT(sink.delivered_count(), 0u);
+  EXPECT_GT(sink.mean_delivery_latency_s(), 0.0);
+  EXPECT_LE(sink.max_delivery_latency_s(),
+            sim::to_seconds(net.period()) + 1e-9);
+}
+
+TEST(DeliveryLatencyTest, ZeroBeforeAnyDelivery) {
+  auto net = make_protectionless_net(wsn::make_grid(3), fast_parameters(12), 2);
+  run_setup(net);  // data phase not yet productive at extraction time
+  const auto& sink = net.node(net.topology.sink);
+  EXPECT_DOUBLE_EQ(sink.mean_delivery_latency_s(), 0.0);
+}
+
+TEST(DeliveryLatencyTest, SlpRefinementKeepsLatencyBounded) {
+  auto net = make_slp_net(wsn::make_grid(5), fast_parameters(), 3);
+  net.simulator->run_until(net.setup_end() + 10 * net.period());
+  const auto& sink = net.node(net.topology.sink);
+  ASSERT_GT(sink.delivered_count(), 0u);
+  EXPECT_LE(sink.max_delivery_latency_s(),
+            sim::to_seconds(net.period()) + 1e-9);
+}
+
+TEST(DecoyExtractionTest, PathOrderedHeadToTail) {
+  core::Parameters params = fast_parameters(30);
+  params.search_distance = 2;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    auto net = make_slp_net(wsn::make_grid(7), params, seed);
+    run_setup(net);
+    const auto summary = slp::extract_decoy(*net.simulator);
+    if (!summary.refined()) {
+      continue;
+    }
+    EXPECT_FALSE(summary.start_nodes.empty()) << "seed " << seed;
+    // Slots strictly decrease head to tail.
+    for (std::size_t i = 0; i + 1 < summary.decoy_path.size(); ++i) {
+      EXPECT_GE(net.slp_node(summary.decoy_path[i]).slot(),
+                net.slp_node(summary.decoy_path[i + 1]).slot())
+          << "seed " << seed;
+    }
+    // The decoy never contains sink or source.
+    for (wsn::NodeId node : summary.decoy_path) {
+      EXPECT_NE(node, net.topology.sink);
+      EXPECT_NE(node, net.topology.source);
+    }
+    return;  // one refined seed is enough for the strong assertions
+  }
+  FAIL() << "no seed produced a decoy";
+}
+
+TEST(ScheduleDiffTest, IdenticalSchedulesDiffEmpty) {
+  mac::Schedule schedule(4);
+  schedule.set_slot(0, 5);
+  EXPECT_TRUE(mac::diff_schedules(schedule, schedule).empty());
+}
+
+TEST(ScheduleDiffTest, ReportsChangesOnly) {
+  mac::Schedule before(4);
+  before.set_slot(0, 5);
+  before.set_slot(1, 6);
+  mac::Schedule after = before;
+  after.set_slot(1, 3);       // changed
+  after.set_slot(2, 9);       // newly assigned
+  const auto changes = mac::diff_schedules(before, after);
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_EQ(changes[0], (mac::SlotChange{1, 6, 3}));
+  EXPECT_EQ(changes[1], (mac::SlotChange{2, mac::kNoSlot, 9}));
+}
+
+TEST(ScheduleDiffTest, SizeMismatchRejected) {
+  EXPECT_THROW(
+      (void)mac::diff_schedules(mac::Schedule(2), mac::Schedule(3)),
+      std::invalid_argument);
+}
+
+TEST(ScheduleDiffTest, RefinementTouchesDecoyAndDownstream) {
+  // Compare the same seed with and without the SLP phases: every decoy
+  // node must appear in the diff (their slots were cut), and the diff must
+  // stay a small fraction of the network.
+  const core::Parameters params = fast_parameters(30);
+  auto base = make_protectionless_net(wsn::make_grid(7), params, 4);
+  run_setup(base);
+  auto slp = make_slp_net(wsn::make_grid(7), params, 4);
+  run_setup(slp);
+  const auto before = das::extract_schedule(*base.simulator);
+  const auto after = das::extract_schedule(*slp.simulator);
+  const auto changes = mac::diff_schedules(before, after);
+  const auto summary = slp::extract_decoy(*slp.simulator);
+  if (summary.refined()) {
+    for (wsn::NodeId decoy_node : summary.decoy_path) {
+      const bool in_diff =
+          std::any_of(changes.begin(), changes.end(),
+                      [decoy_node](const mac::SlotChange& change) {
+                        return change.node == decoy_node;
+                      });
+      EXPECT_TRUE(in_diff) << "decoy node " << decoy_node;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slpdas

@@ -1,0 +1,89 @@
+// Tests for the Table I parameter mapping.
+#include "slpdas/core/parameters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slpdas::core {
+namespace {
+
+TEST(ParametersTest, DefaultsMatchTableI) {
+  const Parameters params;
+  EXPECT_DOUBLE_EQ(params.source_period_s, 5.5);
+  EXPECT_DOUBLE_EQ(params.slot_period_s, 0.05);
+  EXPECT_DOUBLE_EQ(params.dissem_period_s, 0.5);
+  EXPECT_EQ(params.slots, 100);
+  EXPECT_EQ(params.minimum_setup_periods, 80);
+  EXPECT_EQ(params.neighbor_discovery_periods, 4);
+  EXPECT_EQ(params.dissemination_timeout, 5);
+  EXPECT_EQ(params.search_distance, 3);
+  EXPECT_DOUBLE_EQ(params.safety_factor, 1.5);
+}
+
+TEST(ParametersTest, FrameMatchesSourcePeriod) {
+  const Parameters params;
+  // Table I consistency: one TDMA period == the source period.
+  EXPECT_EQ(params.frame().period(), sim::from_seconds(params.source_period_s));
+}
+
+TEST(ParametersTest, DasConfigCarriesValues) {
+  const Parameters params;
+  const das::DasConfig config = params.das_config();
+  EXPECT_EQ(config.sink_slot, 100);
+  EXPECT_EQ(config.minimum_setup_periods, 80);
+  EXPECT_EQ(config.neighbor_discovery_periods, 4);
+  EXPECT_EQ(config.dissemination_timeout, 5);
+}
+
+TEST(ParametersTest, ChangeLengthDefaultsToTableFormula) {
+  Parameters params;
+  const wsn::Topology grid = wsn::make_grid(11);  // Delta_ss = 10
+  params.search_distance = 3;
+  EXPECT_EQ(params.resolved_change_length(grid), 7);  // CL = 10 - 3
+  params.search_distance = 5;
+  EXPECT_EQ(params.resolved_change_length(grid), 5);  // CL = 10 - 5
+}
+
+TEST(ParametersTest, ChangeLengthFlooredAtOne) {
+  Parameters params;
+  params.search_distance = 10;
+  const wsn::Topology grid = wsn::make_grid(5);  // Delta_ss = 4
+  EXPECT_EQ(params.resolved_change_length(grid), 1);
+}
+
+TEST(ParametersTest, ExplicitChangeLengthWins) {
+  Parameters params;
+  params.change_length = 9;
+  EXPECT_EQ(params.resolved_change_length(wsn::make_grid(11)), 9);
+  params.change_length = 0;
+  EXPECT_THROW((void)params.resolved_change_length(wsn::make_grid(11)),
+               std::invalid_argument);
+}
+
+TEST(ParametersTest, SlpConfigResolvesSearchStart) {
+  Parameters params;
+  const auto config = params.slp_config(wsn::make_grid(11));
+  EXPECT_EQ(config.search_start_period, 40);  // MSP / 2
+  EXPECT_EQ(config.search_distance, 3);
+  EXPECT_EQ(config.change_length, 7);
+  params.search_start_period = 55;
+  EXPECT_EQ(params.slp_config(wsn::make_grid(11)).search_start_period, 55);
+}
+
+TEST(ParametersTest, UpperTimeBoundFollowsPaperFormula) {
+  const Parameters params;
+  // nodes x Psrc x 4: for 121 nodes = 121 * 5.5 * 4 s.
+  EXPECT_EQ(params.upper_time_bound(121),
+            sim::from_seconds(121 * 5.5 * 4.0));
+}
+
+TEST(ParametersTest, InvalidFrameRejected) {
+  Parameters params;
+  params.slots = 0;
+  EXPECT_THROW((void)params.frame(), std::invalid_argument);
+  params = {};
+  params.slot_period_s = -1.0;
+  EXPECT_THROW((void)params.frame(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace slpdas::core

@@ -1,0 +1,103 @@
+// Tests for BFS distances, shortest paths and the shortest-path-parents
+// relation used by the strong-DAS checker (Definition 2 condition 3).
+#include "slpdas/wsn/paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include "slpdas/wsn/topology.hpp"
+
+namespace slpdas::wsn {
+namespace {
+
+Graph disconnected_pair() {
+  return Graph(2);  // two isolated vertices
+}
+
+TEST(PathsTest, BfsDistancesOnLine) {
+  const Topology line = make_line(5);
+  const auto distances = bfs_distances(line.graph, 0);
+  EXPECT_EQ(distances, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(PathsTest, BfsDistancesUnreachable) {
+  const auto distances = bfs_distances(disconnected_pair(), 0);
+  EXPECT_EQ(distances[1], kUnreachable);
+}
+
+TEST(PathsTest, BfsOriginOutOfRange) {
+  EXPECT_THROW(bfs_distances(Graph(2), 5), std::out_of_range);
+}
+
+TEST(PathsTest, HopDistanceSymmetric) {
+  const Topology grid = make_grid(5);
+  EXPECT_EQ(hop_distance(grid.graph, grid.source, grid.sink),
+            hop_distance(grid.graph, grid.sink, grid.source));
+}
+
+TEST(PathsTest, ConnectivityChecks) {
+  EXPECT_TRUE(is_connected(make_grid(5).graph));
+  EXPECT_FALSE(is_connected(disconnected_pair()));
+  EXPECT_TRUE(is_connected(Graph{}));
+}
+
+TEST(PathsTest, EccentricityAndDiameter) {
+  const Topology line = make_line(5);
+  EXPECT_EQ(eccentricity(line.graph, 0), 4);
+  EXPECT_EQ(eccentricity(line.graph, 2), 2);
+  EXPECT_EQ(diameter(line.graph), 4);
+  // Grid diameter: Manhattan distance between opposite corners.
+  EXPECT_EQ(diameter(make_grid(5).graph), 8);
+}
+
+TEST(PathsTest, EccentricityThrowsOnDisconnected) {
+  EXPECT_THROW((void)eccentricity(disconnected_pair(), 0), std::invalid_argument);
+}
+
+TEST(PathsTest, ShortestPathEndpointsAndLength) {
+  const Topology grid = make_grid(5);
+  const auto path = shortest_path(grid.graph, grid.source, grid.sink);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), grid.source);
+  EXPECT_EQ(path.back(), grid.sink);
+  EXPECT_EQ(static_cast<int>(path.size()) - 1,
+            hop_distance(grid.graph, grid.source, grid.sink));
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(grid.graph.has_edge(path[i], path[i + 1]));
+  }
+}
+
+TEST(PathsTest, ShortestPathToSelf) {
+  const Topology grid = make_grid(3);
+  const auto path = shortest_path(grid.graph, 4, 4);
+  EXPECT_EQ(path, (std::vector<NodeId>{4}));
+}
+
+TEST(PathsTest, ShortestPathUnreachableIsEmpty) {
+  EXPECT_TRUE(shortest_path(disconnected_pair(), 0, 1).empty());
+}
+
+TEST(PathsTest, ShortestPathParentsOnGrid) {
+  const Topology grid = make_grid(3);  // sink = centre node 4
+  const auto parents = shortest_path_parents(grid.graph, grid.sink);
+  // The corner 0 has two shortest-path neighbours toward the centre: 1, 3.
+  EXPECT_EQ(parents[0], (std::vector<NodeId>{1, 3}));
+  // Edge-midpoint 1 is adjacent to the sink: its only closer neighbour is 4.
+  EXPECT_EQ(parents[1], (std::vector<NodeId>{4}));
+  // The sink itself has no parents.
+  EXPECT_TRUE(parents[static_cast<std::size_t>(grid.sink)].empty());
+}
+
+TEST(PathsTest, ShortestPathParentsNeverIncreaseDistance) {
+  const Topology grid = make_grid(7);
+  const auto distance = bfs_distances(grid.graph, grid.sink);
+  const auto parents = shortest_path_parents(grid.graph, grid.sink);
+  for (NodeId node = 0; node < grid.graph.node_count(); ++node) {
+    for (NodeId parent : parents[static_cast<std::size_t>(node)]) {
+      EXPECT_EQ(distance[static_cast<std::size_t>(parent)],
+                distance[static_cast<std::size_t>(node)] - 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slpdas::wsn

@@ -1,0 +1,72 @@
+// Tests for schedule CSV round-trip and summary statistics.
+#include "slpdas/mac/schedule_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace slpdas::mac {
+namespace {
+
+TEST(ScheduleCsvTest, RoundTripExact) {
+  Schedule schedule(5);
+  schedule.set_slot(0, 42);
+  schedule.set_slot(2, -3);
+  schedule.set_slot(4, 100);
+  std::stringstream buffer;
+  write_schedule_csv(schedule, buffer);
+  const Schedule loaded = read_schedule_csv(buffer);
+  EXPECT_EQ(loaded, schedule);
+}
+
+TEST(ScheduleCsvTest, EmptyScheduleRoundTrips) {
+  const Schedule schedule(3);
+  std::stringstream buffer;
+  write_schedule_csv(schedule, buffer);
+  EXPECT_EQ(read_schedule_csv(buffer), schedule);
+}
+
+TEST(ScheduleCsvTest, FormatIsStable) {
+  Schedule schedule(2);
+  schedule.set_slot(1, 9);
+  std::ostringstream out;
+  write_schedule_csv(schedule, out);
+  EXPECT_EQ(out.str(), "node,slot\n0,\n1,9\n");
+}
+
+TEST(ScheduleCsvTest, RejectsMalformedInput) {
+  const auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return read_schedule_csv(in);
+  };
+  EXPECT_THROW((void)parse(""), std::invalid_argument);
+  EXPECT_THROW((void)parse("bogus\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse("node,slot\nx,1\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse("node,slot\n0;1\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse("node,slot\n1,5\n"), std::invalid_argument);  // gap
+  EXPECT_THROW((void)parse("node,slot\n0,1\n0,2\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse("node,slot\n0,abc\n"), std::invalid_argument);
+}
+
+TEST(ScheduleStatsTest, KnownValues) {
+  Schedule schedule(6);
+  schedule.set_slot(0, 10);
+  schedule.set_slot(1, 12);
+  schedule.set_slot(2, 12);  // reuse
+  schedule.set_slot(3, 15);
+  const ScheduleStats stats = compute_stats(schedule);
+  EXPECT_EQ(stats.assigned, 4);
+  EXPECT_EQ(stats.min_slot, 10);
+  EXPECT_EQ(stats.max_slot, 15);
+  EXPECT_EQ(stats.distinct_slots, 3);
+  EXPECT_EQ(stats.span, 6);
+  EXPECT_DOUBLE_EQ(stats.density, 4.0 / 6.0);
+  EXPECT_NE(stats.to_string().find("assigned=4"), std::string::npos);
+}
+
+TEST(ScheduleStatsTest, EmptyScheduleThrows) {
+  EXPECT_THROW((void)compute_stats(Schedule(3)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace slpdas::mac

@@ -1,0 +1,99 @@
+// Tests for the TDMA slot table (mac::Schedule) and its sender-set view,
+// the <sigma_1 ... sigma_l> sequence of Definitions 2/3.
+#include "slpdas/mac/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slpdas::mac {
+namespace {
+
+TEST(ScheduleTest, StartsUnassigned) {
+  const Schedule schedule(4);
+  EXPECT_EQ(schedule.node_count(), 4);
+  EXPECT_EQ(schedule.assigned_count(), 0);
+  EXPECT_FALSE(schedule.complete());
+  for (wsn::NodeId n = 0; n < 4; ++n) {
+    EXPECT_FALSE(schedule.assigned(n));
+    EXPECT_EQ(schedule.slot(n), kNoSlot);
+  }
+}
+
+TEST(ScheduleTest, SetClearRoundTrip) {
+  Schedule schedule(3);
+  schedule.set_slot(1, 42);
+  EXPECT_TRUE(schedule.assigned(1));
+  EXPECT_EQ(schedule.slot(1), 42);
+  schedule.clear_slot(1);
+  EXPECT_FALSE(schedule.assigned(1));
+}
+
+TEST(ScheduleTest, NegativeSlotsAreRepresentable) {
+  Schedule schedule(2);
+  schedule.set_slot(0, -5);  // refinement can push below 1
+  EXPECT_EQ(schedule.slot(0), -5);
+}
+
+TEST(ScheduleTest, ReservedSentinelRejected) {
+  Schedule schedule(2);
+  EXPECT_THROW(schedule.set_slot(0, kNoSlot), std::invalid_argument);
+}
+
+TEST(ScheduleTest, OutOfRangeRejected) {
+  Schedule schedule(2);
+  EXPECT_THROW(schedule.set_slot(2, 1), std::out_of_range);
+  EXPECT_THROW((void)schedule.slot(-1), std::out_of_range);
+  EXPECT_THROW(Schedule(-1), std::invalid_argument);
+}
+
+TEST(ScheduleTest, MinMaxSlot) {
+  Schedule schedule(4);
+  EXPECT_THROW((void)schedule.min_slot(), std::logic_error);
+  schedule.set_slot(0, 10);
+  schedule.set_slot(2, -3);
+  schedule.set_slot(3, 7);
+  EXPECT_EQ(schedule.min_slot(), -3);
+  EXPECT_EQ(schedule.max_slot(), 10);
+}
+
+TEST(ScheduleTest, TransmissionOrderSortsBySlotThenId) {
+  Schedule schedule(5);
+  schedule.set_slot(0, 9);
+  schedule.set_slot(1, 2);
+  schedule.set_slot(3, 2);  // same slot as node 1 -> id breaks the tie
+  schedule.set_slot(4, 5);
+  EXPECT_EQ(schedule.transmission_order(),
+            (std::vector<wsn::NodeId>{1, 3, 4, 0}));
+}
+
+TEST(ScheduleTest, SenderSetsGroupEqualSlots) {
+  Schedule schedule(5);
+  schedule.set_slot(0, 9);
+  schedule.set_slot(1, 2);
+  schedule.set_slot(3, 2);
+  schedule.set_slot(4, 5);
+  const auto sets = schedule.sender_sets();
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_EQ(sets[0], (std::vector<wsn::NodeId>{1, 3}));
+  EXPECT_EQ(sets[1], (std::vector<wsn::NodeId>{4}));
+  EXPECT_EQ(sets[2], (std::vector<wsn::NodeId>{0}));
+}
+
+TEST(ScheduleTest, ShiftMovesOnlyAssigned) {
+  Schedule schedule(3);
+  schedule.set_slot(0, 1);
+  schedule.shift(10);
+  EXPECT_EQ(schedule.slot(0), 11);
+  EXPECT_FALSE(schedule.assigned(1));
+}
+
+TEST(ScheduleTest, EqualityAndToString) {
+  Schedule a(2);
+  Schedule b(2);
+  EXPECT_EQ(a, b);
+  a.set_slot(0, 3);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.to_string(), "0:3 1:-");
+}
+
+}  // namespace
+}  // namespace slpdas::mac

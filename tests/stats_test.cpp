@@ -1,0 +1,97 @@
+// Tests for the streaming statistics used by the experiment harness.
+#include "slpdas/metrics/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace slpdas::metrics {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsNeutral) {
+  const RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(stats.min()));
+  EXPECT_TRUE(std::isnan(stats.max()));
+  EXPECT_DOUBLE_EQ(stats.ci95_half_width(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(v);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.add(3.5);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.ci95_half_width(), 0.0);
+}
+
+TEST(RunningStatsTest, CiShrinksWithSamples) {
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 10; ++i) {
+    small.add(i % 2);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    large.add(i % 2);
+  }
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(ProportionStatsTest, RatioAndCounts) {
+  ProportionStats stats;
+  for (int i = 0; i < 10; ++i) {
+    stats.add(i < 3);
+  }
+  EXPECT_EQ(stats.trials(), 10u);
+  EXPECT_EQ(stats.successes(), 3u);
+  EXPECT_DOUBLE_EQ(stats.ratio(), 0.3);
+}
+
+TEST(ProportionStatsTest, EmptyRatioIsZero) {
+  const ProportionStats stats;
+  EXPECT_DOUBLE_EQ(stats.ratio(), 0.0);
+  const auto [low, high] = stats.wilson95();
+  EXPECT_DOUBLE_EQ(low, 0.0);
+  EXPECT_DOUBLE_EQ(high, 1.0);
+}
+
+TEST(ProportionStatsTest, WilsonIntervalBracketsRatio) {
+  ProportionStats stats;
+  for (int i = 0; i < 200; ++i) {
+    stats.add(i % 4 == 0);  // 25%
+  }
+  const auto [low, high] = stats.wilson95();
+  EXPECT_LT(low, 0.25);
+  EXPECT_GT(high, 0.25);
+  EXPECT_GT(low, 0.15);
+  EXPECT_LT(high, 0.35);
+}
+
+TEST(ProportionStatsTest, WilsonIntervalStaysInUnitRange) {
+  ProportionStats all;
+  ProportionStats none;
+  for (int i = 0; i < 5; ++i) {
+    all.add(true);
+    none.add(false);
+  }
+  EXPECT_LE(all.wilson95().second, 1.0);
+  EXPECT_GT(all.wilson95().first, 0.4);
+  EXPECT_GE(none.wilson95().first, 0.0);
+  EXPECT_LT(none.wilson95().second, 0.6);
+}
+
+}  // namespace
+}  // namespace slpdas::metrics

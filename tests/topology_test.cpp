@@ -1,0 +1,130 @@
+// Tests for topology generators, especially the paper's evaluation grids
+// (Section VI-A: 11x11 / 15x15 / 21x21, source top-left, sink centre,
+// horizontal/vertical links only).
+#include "slpdas/wsn/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "slpdas/wsn/paths.hpp"
+
+namespace slpdas::wsn {
+namespace {
+
+TEST(GridTopologyTest, PaperGridShape11) {
+  const Topology topology = make_grid(11);
+  EXPECT_EQ(topology.graph.node_count(), 121);
+  // 4-connected grid: 2 * side * (side - 1) edges.
+  EXPECT_EQ(topology.graph.edge_count(), 220u);
+  EXPECT_EQ(topology.source, grid_node(11, 0, 0));
+  EXPECT_EQ(topology.sink, grid_node(11, 5, 5));
+}
+
+TEST(GridTopologyTest, CornerAndCentreDegrees) {
+  const Topology topology = make_grid(5);
+  EXPECT_EQ(topology.graph.degree(grid_node(5, 0, 0)), 2u);
+  EXPECT_EQ(topology.graph.degree(grid_node(5, 2, 0)), 3u);
+  EXPECT_EQ(topology.graph.degree(grid_node(5, 2, 2)), 4u);
+}
+
+TEST(GridTopologyTest, OnlyHorizontalVerticalLinks) {
+  const Topology topology = make_grid(5);
+  EXPECT_FALSE(topology.graph.has_edge(grid_node(5, 0, 0), grid_node(5, 1, 1)));
+  EXPECT_TRUE(topology.graph.has_edge(grid_node(5, 0, 0), grid_node(5, 1, 0)));
+  EXPECT_TRUE(topology.graph.has_edge(grid_node(5, 0, 0), grid_node(5, 0, 1)));
+}
+
+TEST(GridTopologyTest, SpacingSetsPositions) {
+  const Topology topology = make_grid(3, 4.5);
+  const auto& p = topology.positions[static_cast<std::size_t>(grid_node(3, 2, 1))];
+  EXPECT_DOUBLE_EQ(p.x, 9.0);
+  EXPECT_DOUBLE_EQ(p.y, 4.5);
+}
+
+TEST(GridTopologyTest, EvenOrTinySideRejected) {
+  EXPECT_THROW(make_grid(10), std::invalid_argument);
+  EXPECT_THROW(make_grid(1), std::invalid_argument);
+  EXPECT_THROW(make_grid(-3), std::invalid_argument);
+}
+
+TEST(GridTopologyTest, SourceSinkDistanceMatchesPaper) {
+  // Source top-left, sink centre: Delta_ss = 2 * (side/2).
+  for (int side : {11, 15, 21}) {
+    const Topology topology = make_grid(side);
+    EXPECT_EQ(hop_distance(topology.graph, topology.source, topology.sink),
+              2 * (side / 2))
+        << "side=" << side;
+  }
+}
+
+TEST(GridTopologyTest, RectangularGridWithExplicitEndpoints) {
+  const Topology topology = make_grid(4, 3, 1.0, NodeId{3}, NodeId{8});
+  EXPECT_EQ(topology.graph.node_count(), 12);
+  EXPECT_EQ(topology.source, 3);
+  EXPECT_EQ(topology.sink, 8);
+}
+
+TEST(LineTopologyTest, PathShape) {
+  const Topology topology = make_line(6);
+  EXPECT_EQ(topology.graph.edge_count(), 5u);
+  EXPECT_EQ(topology.source, 0);
+  EXPECT_EQ(topology.sink, 5);
+  EXPECT_EQ(topology.graph.degree(0), 1u);
+  EXPECT_EQ(topology.graph.degree(3), 2u);
+  EXPECT_THROW(make_line(1), std::invalid_argument);
+}
+
+TEST(RingTopologyTest, CycleShape) {
+  const Topology topology = make_ring(8);
+  EXPECT_EQ(topology.graph.edge_count(), 8u);
+  for (NodeId n = 0; n < 8; ++n) {
+    EXPECT_EQ(topology.graph.degree(n), 2u);
+  }
+  EXPECT_EQ(topology.sink, 4);
+  EXPECT_THROW(make_ring(2), std::invalid_argument);
+}
+
+TEST(UnitDiskTopologyTest, GeneratesConnectedGraph) {
+  UnitDiskParams params;
+  params.node_count = 60;
+  params.area_side = 60.0;
+  params.radio_range = 14.0;
+  params.seed = 7;
+  const Topology topology = make_random_unit_disk(params);
+  EXPECT_EQ(topology.graph.node_count(), 60);
+  EXPECT_TRUE(is_connected(topology.graph));
+  EXPECT_NE(topology.source, topology.sink);
+}
+
+TEST(UnitDiskTopologyTest, DeterministicForSeed) {
+  UnitDiskParams params;
+  params.node_count = 40;
+  params.area_side = 40.0;
+  params.radio_range = 12.0;
+  params.seed = 11;
+  const Topology a = make_random_unit_disk(params);
+  const Topology b = make_random_unit_disk(params);
+  EXPECT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_EQ(a.sink, b.sink);
+}
+
+TEST(UnitDiskTopologyTest, ImpossibleRangeThrows) {
+  UnitDiskParams params;
+  params.node_count = 50;
+  params.area_side = 1000.0;
+  params.radio_range = 1.0;  // almost surely disconnected
+  params.max_attempts = 3;
+  EXPECT_THROW(make_random_unit_disk(params), std::runtime_error);
+}
+
+TEST(UnitDiskTopologyTest, InvalidParamsRejected) {
+  UnitDiskParams params;
+  params.node_count = 1;
+  EXPECT_THROW(make_random_unit_disk(params), std::invalid_argument);
+  params.node_count = 10;
+  params.radio_range = -1.0;
+  EXPECT_THROW(make_random_unit_disk(params), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace slpdas::wsn
