@@ -3,81 +3,99 @@
 //
 // The paper's introduction motivates MAC-level SLP with the claim that
 // routing-level techniques carry "typically high message overhead". This
-// bench runs protectionless DAS, SLP DAS and phantom routing (two walk
-// lengths) on the 11x11 grid against the same (1,0,1,sink)-attacker and
-// reports capture ratio, data traffic per node per period, end-to-end
-// latency and estimated radio energy.
+// bench sweeps protectionless DAS, SLP DAS and phantom routing (two walk
+// lengths) on the 11x11 grid against the same (1,0,1,sink)-attacker —
+// all five cells share one core::Sweep thread pool — and reports capture
+// ratio, data traffic per node per period, end-to-end latency and
+// estimated radio energy. `--json PATH` writes the sweep as BENCH_*.json.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
-#include "slpdas/core/experiment.hpp"
+#include "slpdas/core/sweep.hpp"
 #include "slpdas/metrics/table.hpp"
-
-namespace {
-
-struct Row {
-  std::string label;
-  slpdas::core::ExperimentConfig config;
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace slpdas;
   using core::ProtocolKind;
 
   int runs = 150;
+  int threads = 0;
+  std::string json_path;
+  bool progress = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--runs" && i + 1 < argc) {
+    const std::string arg = argv[i];
+    if (arg == "--runs" && i + 1 < argc) {
       runs = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--progress") {
+      progress = true;
+    } else {
+      std::cerr << "unknown argument " << arg << '\n';
+      return 2;
     }
+  }
+  if (runs < 1) {
+    std::cerr << "--runs must be >= 1\n";
+    return 2;
   }
 
   core::ExperimentConfig base;
   base.topology = wsn::make_grid(11);
   base.radio = core::RadioKind::kCasinoLab;
   base.runs = runs;
-  base.base_seed = 31;
   base.check_schedules = false;
 
-  std::vector<Row> rows;
-  {
-    Row r{"protectionless DAS", base};
-    r.config.protocol = ProtocolKind::kProtectionlessDas;
-    rows.push_back(r);
+  // One row per table entry: axis value, display label and config edits
+  // live together so reordering rows cannot desynchronise them.
+  struct ProtocolRow {
+    const char* value;
+    const char* display;
+    ProtocolKind protocol;
+    int walk_length;
+  };
+  const std::vector<ProtocolRow> rows = {
+      {"protectionless-das", "protectionless DAS",
+       ProtocolKind::kProtectionlessDas, 0},
+      {"slp-das", "SLP DAS (SD=3)", ProtocolKind::kSlpDas, 0},
+      {"flooding", "plain flooding (phantom h=0)",
+       ProtocolKind::kPhantomRouting, 0},
+      {"phantom-h5", "phantom routing (h=5)", ProtocolKind::kPhantomRouting,
+       5},
+      {"phantom-h10", "phantom routing (h=10)", ProtocolKind::kPhantomRouting,
+       10},
+  };
+  std::vector<core::SweepGrid::AxisValue> axis_values;
+  for (const ProtocolRow& row : rows) {
+    axis_values.push_back({row.value, [row](core::ExperimentConfig& c) {
+                             c.protocol = row.protocol;
+                             c.phantom_walk_length = row.walk_length;
+                           }});
   }
-  {
-    Row r{"SLP DAS (SD=3)", base};
-    r.config.protocol = ProtocolKind::kSlpDas;
-    rows.push_back(r);
-  }
-  {
-    Row r{"plain flooding (phantom h=0)", base};
-    r.config.protocol = ProtocolKind::kPhantomRouting;
-    r.config.phantom_walk_length = 0;
-    rows.push_back(r);
-  }
-  {
-    Row r{"phantom routing (h=5)", base};
-    r.config.protocol = ProtocolKind::kPhantomRouting;
-    r.config.phantom_walk_length = 5;
-    rows.push_back(r);
-  }
-  {
-    Row r{"phantom routing (h=10)", base};
-    r.config.protocol = ProtocolKind::kPhantomRouting;
-    r.config.phantom_walk_length = 10;
-    rows.push_back(r);
-  }
+  core::SweepGrid grid(base);
+  // Unseeded: every protocol faces identical per-run seed streams
+  // (common random numbers), mirroring the pre-sweep behaviour where all
+  // rows shared one base seed.
+  grid.axis("protocol", std::move(axis_values), /*seeded=*/false);
+  const std::vector<core::SweepCell> cells = grid.expand();
+
+  core::SweepOptions sweep_options;
+  sweep_options.threads = threads;
+  sweep_options.base_seed = 31;
+  sweep_options.progress = progress ? &std::cerr : nullptr;
+  const core::SweepResult sweep = core::run_sweep(cells, sweep_options);
 
   std::cout << "Comparison: MAC-level vs routing-level SLP on the 11x11 "
                "grid (" << runs << " runs per row)\n\n";
   metrics::Table table({"protocol", "capture ratio", "data msgs/node",
                         "delivery", "latency"});
-  for (const Row& row : rows) {
-    const auto result = core::run_experiment(row.config);
-    table.add_row({row.label,
+  for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+    const core::ExperimentResult& result = sweep.cells[i].result;
+    table.add_row({rows[i].display,
                    metrics::Table::percent_cell(result.capture.ratio()),
                    metrics::Table::cell(result.normal_messages_per_node.mean(), 1),
                    metrics::Table::percent_cell(result.delivery_ratio.mean()),
@@ -85,6 +103,15 @@ int main(int argc, char** argv) {
                        "s"});
   }
   table.print(std::cout);
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "cannot open " << json_path << " for writing\n";
+      return 1;
+    }
+    core::write_sweep_json(json, sweep, "cmp_phantom");
+    std::cout << "\n(wrote " << json_path << ")\n";
+  }
   std::cout << "\nReading: phantom's random walk improves on its own "
                "baseline (plain flooding, whose per-datum transmissions "
                "reveal provenance and are traced almost surely), and longer "

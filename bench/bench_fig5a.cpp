@@ -4,5 +4,5 @@
 
 int main(int argc, char** argv) {
   const auto options = slpdas::bench::parse_fig5_options(argc, argv, 3);
-  return slpdas::bench::run_fig5(options, "Figure 5(a)");
+  return slpdas::bench::run_fig5(options, "fig5a", "Figure 5(a)");
 }

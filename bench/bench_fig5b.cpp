@@ -4,5 +4,5 @@
 
 int main(int argc, char** argv) {
   const auto options = slpdas::bench::parse_fig5_options(argc, argv, 5);
-  return slpdas::bench::run_fig5(options, "Figure 5(b)");
+  return slpdas::bench::run_fig5(options, "fig5b", "Figure 5(b)");
 }

@@ -3,10 +3,13 @@
 // Reproduces the paper's evaluation setup (Section VI): square grids of
 // side 11/15/21 with the source top-left and the sink at the centre,
 // Table I parameters, a (1,0,1,sink,first-heard)-attacker, safety factor
-// 1.5, and the synthetic casino-lab noise model. For each grid size it
-// runs protectionless DAS and SLP DAS over N seeds and prints the capture
-// ratios that Figure 5 plots, plus the aggregate reduction factor backing
-// the paper's "reduces the capture ratio by 50%" headline.
+// 1.5, and the synthetic casino-lab noise model. The grid of (side x
+// protocol) configurations runs on the core::Sweep engine — one shared
+// thread pool across every cell, deterministic per-cell seeds — and
+// prints the capture ratios that Figure 5 plots, plus the aggregate
+// reduction factor backing the paper's "reduces the capture ratio by
+// 50%" headline. `--json PATH` additionally writes the sweep in the
+// BENCH_*.json schema ("slpdas.sweep.v1", see README.md).
 #pragma once
 
 #include <cstdlib>
@@ -15,7 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "slpdas/core/experiment.hpp"
+#include "slpdas/core/sweep.hpp"
 #include "slpdas/metrics/table.hpp"
 
 namespace slpdas::bench {
@@ -25,11 +28,14 @@ struct Fig5Options {
   std::vector<int> sides{11, 15, 21};
   int runs = 100;
   std::uint64_t base_seed = 2017;
+  int threads = 0;       ///< sweep pool size; 0 = hardware concurrency
   std::string csv_path;  ///< when set, also write the table as CSV
+  std::string json_path;  ///< when set, write BENCH_*.json sweep results
+  bool progress = false;  ///< per-cell progress lines on stderr
 };
 
-/// Parses --runs/--sd/--seed/--sizes out of argv (used by both fig5
-/// binaries so CI can dial the cost down).
+/// Parses --runs/--sd/--seed/--threads/--csv/--json/--progress/--small out
+/// of argv (used by both fig5 binaries so CI can dial the cost down).
 inline Fig5Options parse_fig5_options(int argc, char** argv,
                                       int default_search_distance) {
   Fig5Options options;
@@ -43,18 +49,27 @@ inline Fig5Options parse_fig5_options(int argc, char** argv,
       }
       return std::atoi(argv[++i]);
     };
+    auto next_string = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << '\n';
+        std::exit(2);
+      }
+      return std::string(argv[++i]);
+    };
     if (arg == "--runs") {
       options.runs = next_int("--runs");
     } else if (arg == "--sd") {
       options.search_distance = next_int("--sd");
     } else if (arg == "--seed") {
       options.base_seed = static_cast<std::uint64_t>(next_int("--seed"));
+    } else if (arg == "--threads") {
+      options.threads = next_int("--threads");
     } else if (arg == "--csv") {
-      if (i + 1 >= argc) {
-        std::cerr << "missing value for --csv\n";
-        std::exit(2);
-      }
-      options.csv_path = argv[++i];
+      options.csv_path = next_string("--csv");
+    } else if (arg == "--json") {
+      options.json_path = next_string("--json");
+    } else if (arg == "--progress") {
+      options.progress = true;
     } else if (arg == "--small") {
       // Quick mode for smoke runs: fewer seeds, drop the 21x21 grid.
       options.runs = 30;
@@ -64,44 +79,91 @@ inline Fig5Options parse_fig5_options(int argc, char** argv,
       std::exit(2);
     }
   }
+  if (options.runs < 1) {
+    std::cerr << "--runs must be >= 1\n";
+    std::exit(2);
+  }
   return options;
 }
 
-inline core::ExperimentConfig make_fig5_config(int side, int search_distance,
-                                               core::ProtocolKind protocol,
-                                               int runs,
-                                               std::uint64_t base_seed) {
-  core::ExperimentConfig config;
-  config.topology = wsn::make_grid(side);
-  config.protocol = protocol;
-  config.parameters = core::Parameters{};  // Table I defaults
-  config.parameters.search_distance = search_distance;
-  config.radio = core::RadioKind::kCasinoLab;
-  config.runs = runs;
-  config.base_seed = base_seed;
-  config.check_schedules = false;  // measured by tests; skip for speed
-  return config;
+/// The (side x protocol) sweep grid behind Figure 5. Protocol is the last
+/// axis, so cells expand as {side0/base, side0/slp, side1/base, ...}.
+inline std::vector<core::SweepCell> make_fig5_cells(
+    const Fig5Options& options) {
+  core::ExperimentConfig base;
+  base.parameters = core::Parameters{};  // Table I defaults
+  base.parameters.search_distance = options.search_distance;
+  base.radio = core::RadioKind::kCasinoLab;
+  base.runs = options.runs;
+  base.check_schedules = false;  // measured by tests; skip for speed
+
+  core::SweepGrid grid(base);
+  std::vector<core::SweepGrid::AxisValue> side_values;
+  for (const int side : options.sides) {
+    side_values.push_back({std::to_string(side),
+                           [side](core::ExperimentConfig& config) {
+                             config.topology = wsn::make_grid(side);
+                           }});
+  }
+  grid.axis("side", std::move(side_values));
+  // The protocol axis stays out of seed derivation (`seeded = false`):
+  // protectionless and SLP DAS see identical per-run seed streams per
+  // side, the common-random-numbers pairing that keeps the "reduction"
+  // column low-variance.
+  grid.axis("protocol",
+            {{to_string(core::ProtocolKind::kProtectionlessDas),
+              [](core::ExperimentConfig& config) {
+                config.protocol = core::ProtocolKind::kProtectionlessDas;
+              }},
+             {to_string(core::ProtocolKind::kSlpDas),
+              [](core::ExperimentConfig& config) {
+                config.protocol = core::ProtocolKind::kSlpDas;
+              }}},
+            /*seeded=*/false);
+  return grid.expand();
 }
 
-inline int run_fig5(const Fig5Options& options, const char* figure_name) {
+/// `bench_name` is the JSON document name (e.g. "fig5a"); `figure_name`
+/// the human-readable heading (e.g. "Figure 5(a)").
+inline int run_fig5(const Fig5Options& options, const char* bench_name,
+                    const char* figure_name) {
   std::cout << "Reproduction of " << figure_name
             << ": capture ratio vs network size (SD = "
             << options.search_distance << ", " << options.runs
             << " runs per point, casino-lab noise)\n\n";
 
+  const std::vector<core::SweepCell> cells = make_fig5_cells(options);
+  core::SweepOptions sweep_options;
+  sweep_options.threads = options.threads;
+  sweep_options.base_seed = options.base_seed;
+  sweep_options.progress = options.progress ? &std::cerr : nullptr;
+  const core::SweepResult sweep = core::run_sweep(cells, sweep_options);
+
   metrics::Table table({"network size", "protectionless DAS", "SLP DAS",
                         "reduction", "base 95% CI", "slp 95% CI"});
   double base_total = 0.0;
   double slp_total = 0.0;
-  for (int side : options.sides) {
-    const auto base = core::run_experiment(
-        make_fig5_config(side, options.search_distance,
-                         core::ProtocolKind::kProtectionlessDas, options.runs,
-                         options.base_seed));
-    const auto slp = core::run_experiment(
-        make_fig5_config(side, options.search_distance,
-                         core::ProtocolKind::kSlpDas, options.runs,
-                         options.base_seed));
+  // Look cells up by label rather than position, so a reordering of the
+  // grid axes fails loudly instead of silently mispairing protocols.
+  const auto cell_result =
+      [&sweep](int side,
+               core::ProtocolKind protocol) -> const core::ExperimentResult& {
+    const std::string label =
+        "side=" + std::to_string(side) + "/protocol=" + to_string(protocol);
+    for (const core::SweepCellResult& cell : sweep.cells) {
+      if (cell.label == label) {
+        return cell.result;
+      }
+    }
+    std::cerr << "fig5 sweep is missing cell " << label << '\n';
+    std::exit(1);
+  };
+  for (std::size_t s = 0; s < options.sides.size(); ++s) {
+    const int side_value = options.sides[s];
+    const core::ExperimentResult& base =
+        cell_result(side_value, core::ProtocolKind::kProtectionlessDas);
+    const core::ExperimentResult& slp =
+        cell_result(side_value, core::ProtocolKind::kSlpDas);
     base_total += base.capture.ratio();
     slp_total += slp.capture.ratio();
     const auto [base_low, base_high] = base.capture.wilson95();
@@ -110,6 +172,7 @@ inline int run_fig5(const Fig5Options& options, const char* figure_name) {
         base.capture.ratio() > 0.0
             ? 1.0 - slp.capture.ratio() / base.capture.ratio()
             : 0.0;
+    const int side = options.sides[s];
     table.add_row({std::to_string(side) + "x" + std::to_string(side),
                    metrics::Table::percent_cell(base.capture.ratio()),
                    metrics::Table::percent_cell(slp.capture.ratio()),
@@ -128,6 +191,15 @@ inline int run_fig5(const Fig5Options& options, const char* figure_name) {
     }
     table.write_csv(csv);
     std::cout << "\n(wrote " << options.csv_path << ")\n";
+  }
+  if (!options.json_path.empty()) {
+    std::ofstream json(options.json_path);
+    if (!json) {
+      std::cerr << "cannot open " << options.json_path << " for writing\n";
+      return 1;
+    }
+    core::write_sweep_json(json, sweep, bench_name);
+    std::cout << "\n(wrote " << options.json_path << ")\n";
   }
 
   const double aggregate_reduction =

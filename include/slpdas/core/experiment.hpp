@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "slpdas/attacker/model.hpp"
 #include "slpdas/core/parameters.hpp"
@@ -99,6 +100,14 @@ struct ExperimentResult {
 /// Executes one seeded run. Deterministic in (config, seed).
 [[nodiscard]] RunResult run_single(const ExperimentConfig& config,
                                    std::uint64_t seed);
+
+/// Folds per-run results into an aggregate IN THE GIVEN ORDER, so callers
+/// that collect runs by index get bit-identical aggregates regardless of
+/// how many threads produced them. `check_schedules` mirrors
+/// ExperimentConfig::check_schedules: when false, the weak/strong DAS
+/// failure counters stay zero.
+[[nodiscard]] ExperimentResult aggregate_runs(const std::vector<RunResult>& runs,
+                                              bool check_schedules);
 
 /// Runs `config.runs` seeded runs (seed = derive_seed(base_seed, i)) across
 /// `config.threads` workers and aggregates.

@@ -1,0 +1,175 @@
+// Parallel scenario-sweep engine.
+//
+// A sweep runs a grid of ExperimentConfigs — network sizes x protocols x
+// attacker specs x radio models — over ONE shared thread pool scheduled
+// at (cell, run) granularity, so a 3x3 grid with 100 seeds each is 900
+// independent work items rather than nine sequential run_experiment
+// calls. Per-cell seeds derive deterministically from the sweep seed and
+// the cell label, so adding, removing or reordering cells never changes
+// any other cell's results, and aggregation happens in run-index order so
+// a sweep's output is byte-identical for any thread count.
+//
+// Results serialise to the BENCH_*.json schema documented in README.md
+// ("slpdas.sweep.v1") and parse back via read_sweep_json for tooling and
+// round-trip tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "slpdas/core/experiment.hpp"
+#include "slpdas/core/thread_pool.hpp"
+
+namespace slpdas::core {
+
+/// One fully materialised point of the sweep grid.
+struct SweepCell {
+  /// Stable identifier, e.g. "side=11/protocol=slp-das". Labels must be
+  /// unique within one sweep (run_sweep throws on duplicates).
+  std::string label;
+  /// Seed-derivation key. Defaults to the label; cells that should share
+  /// a seed stream (common random numbers across protocols, say) set the
+  /// same seed_label, which SweepGrid does for axes added with
+  /// `seeded = false`. Empty means "use the label".
+  std::string seed_label;
+  /// The axis assignments that produced this cell, in axis order.
+  std::vector<std::pair<std::string, std::string>> coordinates;
+  ExperimentConfig config;
+};
+
+/// Builder for cartesian sweep grids. Axes are applied in the order they
+/// were added; each cell's label is "axis1=v1/axis2=v2/...".
+class SweepGrid {
+ public:
+  using Mutator = std::function<void(ExperimentConfig&)>;
+
+  struct AxisValue {
+    std::string value;  ///< label fragment, e.g. "11" or "slp-das"
+    Mutator apply;
+  };
+
+  explicit SweepGrid(ExperimentConfig base) : base_(std::move(base)) {}
+
+  /// Adds an axis. `seeded = false` leaves the axis out of seed
+  /// derivation, so cells differing only along it share a per-run seed
+  /// stream — the common-random-numbers pairing that makes "A vs B"
+  /// comparisons (paper Figure 5) low-variance.
+  SweepGrid& axis(std::string name, std::vector<AxisValue> values,
+                  bool seeded = true);
+
+  /// Cartesian product of all axes (row-major: the last axis varies
+  /// fastest). An axis with no values, or a grid with no axes, expands to
+  /// an empty cell list.
+  [[nodiscard]] std::vector<SweepCell> expand() const;
+
+ private:
+  struct Axis {
+    std::string name;
+    std::vector<AxisValue> values;
+    bool seeded = true;
+  };
+
+  ExperimentConfig base_;
+  std::vector<Axis> axes_;
+};
+
+/// Deterministic per-cell seed: mixes the sweep seed with an FNV-1a hash
+/// of the cell's seed label, so a cell's runs are invariant under grid
+/// edits (and shared between cells with equal seed labels).
+[[nodiscard]] std::uint64_t derive_cell_seed(std::uint64_t base_seed,
+                                             std::string_view label);
+
+struct SweepOptions {
+  int threads = 0;              ///< 0 = hardware concurrency
+  std::uint64_t base_seed = 1;  ///< sweep-level seed, mixed per cell
+  std::ostream* progress = nullptr;  ///< when set, one line per finished cell
+};
+
+struct SweepCellResult {
+  std::string label;
+  std::vector<std::pair<std::string, std::string>> coordinates;
+  std::uint64_t cell_seed = 0;
+  int runs = 0;
+  ExperimentResult result;
+  double wall_seconds = 0.0;
+};
+
+struct SweepResult {
+  std::vector<SweepCellResult> cells;  ///< same order as the input cells
+  int threads = 0;                     ///< pool size used
+  /// Distinct worker-thread ids observed across ALL cells; with a shared
+  /// pool this never exceeds `threads` no matter how many cells ran.
+  int distinct_worker_threads = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Runs every (cell, run) pair on an internally owned pool of
+/// `options.threads` workers. `config.runs` supplies the run count; run
+/// `i` of a cell uses derive_seed(derive_cell_seed(options.base_seed,
+/// seed label), i) — each cell's `config.base_seed` and `config.threads`
+/// are ignored (seeds are sweep-derived, the pool is shared). Throws
+/// std::invalid_argument on duplicate labels or a cell with runs < 1.
+/// Deterministic in (cells, options.base_seed).
+[[nodiscard]] SweepResult run_sweep(const std::vector<SweepCell>& cells,
+                                    const SweepOptions& options);
+
+/// Same, but on a caller-provided pool so several sweeps can share one.
+[[nodiscard]] SweepResult run_sweep(const std::vector<SweepCell>& cells,
+                                    const SweepOptions& options,
+                                    ThreadPool& pool);
+
+/// Serialises a sweep to the "slpdas.sweep.v1" JSON schema. `name` is the
+/// bench identifier (conventionally the BENCH_<name>.json file stem).
+void write_sweep_json(std::ostream& out, const SweepResult& result,
+                      std::string_view name);
+
+/// Parsed-back view of a sweep JSON document (the fields tooling needs;
+/// wall-clock timings are parsed but not compared by tests).
+struct SweepJsonStats {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;  ///< NaN when count == 0 (serialised as null)
+  double max = 0.0;  ///< NaN when count == 0 (serialised as null)
+};
+
+struct SweepJsonCell {
+  std::string label;
+  std::vector<std::pair<std::string, std::string>> coordinates;
+  std::uint64_t cell_seed = 0;
+  int runs = 0;
+  std::uint64_t capture_trials = 0;
+  std::uint64_t capture_successes = 0;
+  double capture_ratio = 0.0;
+  double capture_wilson95_low = 0.0;
+  double capture_wilson95_high = 0.0;
+  SweepJsonStats capture_time_s;
+  SweepJsonStats delivery_ratio;
+  SweepJsonStats delivery_latency_s;
+  SweepJsonStats control_messages_per_node;
+  SweepJsonStats normal_messages_per_node;
+  SweepJsonStats attacker_moves;
+  int schedule_incomplete_runs = 0;
+  int weak_das_failures = 0;
+  int strong_das_failures = 0;
+  double wall_seconds = 0.0;
+};
+
+struct SweepJson {
+  std::string schema;
+  std::string name;
+  int threads = 0;
+  double wall_seconds = 0.0;
+  std::vector<SweepJsonCell> cells;
+};
+
+/// Parses a "slpdas.sweep.v1" document. Throws std::runtime_error on
+/// malformed input or an unknown schema string.
+[[nodiscard]] SweepJson read_sweep_json(std::istream& in);
+
+}  // namespace slpdas::core

@@ -92,9 +92,17 @@ void AttackerParams::validate_and_default() {
 }
 
 std::string AttackerParams::label() const {
-  return "(" + std::to_string(messages_per_move) + "," +
-         std::to_string(history_size) + "," + std::to_string(moves_per_period) +
-         ")-" + (decision ? decision->name() : "first-heard");
+  // Built with += (not operator+ chains) to dodge GCC 12's -Wrestrict
+  // false positive on `const char* + std::string&&` (GCC bug 105651).
+  std::string label = "(";
+  label += std::to_string(messages_per_move);
+  label += ',';
+  label += std::to_string(history_size);
+  label += ',';
+  label += std::to_string(moves_per_period);
+  label += ")-";
+  label += decision ? decision->name() : "first-heard";
+  return label;
 }
 
 }  // namespace slpdas::attacker

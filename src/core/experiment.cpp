@@ -1,7 +1,7 @@
 #include "slpdas/core/experiment.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "slpdas/attacker/runtime.hpp"
+#include "slpdas/core/thread_pool.hpp"
 #include "slpdas/phantom/phantom_routing.hpp"
 #include "slpdas/rng.hpp"
 #include "slpdas/verify/das_checker.hpp"
@@ -80,9 +81,17 @@ std::string AttackerSpec::label() const {
       d = "random";
       break;
   }
-  return "(" + std::to_string(messages_per_move) + "," +
-         std::to_string(history_size) + "," + std::to_string(moves_per_period) +
-         ")-" + d;
+  // Built with += (not operator+ chains) to dodge GCC 12's -Wrestrict
+  // false positive on `const char* + std::string&&` (GCC bug 105651).
+  std::string label = "(";
+  label += std::to_string(messages_per_move);
+  label += ',';
+  label += std::to_string(history_size);
+  label += ',';
+  label += std::to_string(moves_per_period);
+  label += ")-";
+  label += d;
+  return label;
 }
 
 namespace {
@@ -224,59 +233,62 @@ RunResult run_single(const ExperimentConfig& config, std::uint64_t seed) {
   return result;
 }
 
+ExperimentResult aggregate_runs(const std::vector<RunResult>& runs,
+                                bool check_schedules) {
+  ExperimentResult aggregate;
+  aggregate.runs = static_cast<int>(runs.size());
+  for (const RunResult& run : runs) {
+    aggregate.capture.add(run.captured);
+    if (run.capture_time_s) {
+      aggregate.capture_time_s.add(*run.capture_time_s);
+    }
+    aggregate.delivery_ratio.add(run.delivery_ratio);
+    aggregate.delivery_latency_s.add(run.delivery_latency_s);
+    aggregate.control_messages_per_node.add(run.control_messages_per_node);
+    aggregate.normal_messages_per_node.add(run.normal_messages_per_node);
+    aggregate.attacker_moves.add(run.attacker_moves);
+    aggregate.schedule_incomplete_runs += run.schedule_complete ? 0 : 1;
+    if (check_schedules) {
+      aggregate.weak_das_failures += run.weak_das_ok ? 0 : 1;
+      aggregate.strong_das_failures += run.strong_das_ok ? 0 : 1;
+    }
+  }
+  return aggregate;
+}
+
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (config.runs < 1) {
     throw std::invalid_argument("run_experiment: runs must be >= 1");
   }
-  ExperimentResult aggregate;
-  aggregate.runs = config.runs;
-
+  // Workers fill a per-run slot each; aggregation happens afterwards in
+  // run-index order so the result is bit-identical for any thread count.
+  std::vector<RunResult> runs(static_cast<std::size_t>(config.runs));
+  ThreadPool pool(std::min(config.threads <= 0
+                               ? static_cast<int>(
+                                     std::thread::hardware_concurrency())
+                               : config.threads,
+                           config.runs));
   std::mutex mutex;
-  std::atomic<int> next_run{0};
-  auto worker = [&] {
-    for (;;) {
-      const int run_index = next_run.fetch_add(1);
-      if (run_index >= config.runs) {
-        return;
+  std::exception_ptr first_error;
+  for (int run_index = 0; run_index < config.runs; ++run_index) {
+    pool.submit([&, run_index] {
+      try {
+        const std::uint64_t seed = derive_seed(
+            config.base_seed, static_cast<std::uint64_t>(run_index));
+        runs[static_cast<std::size_t>(run_index)] = run_single(config, seed);
+      } catch (...) {
+        const std::scoped_lock lock(mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
       }
-      const std::uint64_t seed =
-          derive_seed(config.base_seed, static_cast<std::uint64_t>(run_index));
-      const RunResult run = run_single(config, seed);
-      const std::scoped_lock lock(mutex);
-      aggregate.capture.add(run.captured);
-      if (run.capture_time_s) {
-        aggregate.capture_time_s.add(*run.capture_time_s);
-      }
-      aggregate.delivery_ratio.add(run.delivery_ratio);
-      aggregate.delivery_latency_s.add(run.delivery_latency_s);
-      aggregate.control_messages_per_node.add(run.control_messages_per_node);
-      aggregate.normal_messages_per_node.add(run.normal_messages_per_node);
-      aggregate.attacker_moves.add(run.attacker_moves);
-      aggregate.schedule_incomplete_runs += run.schedule_complete ? 0 : 1;
-      if (config.check_schedules) {
-        aggregate.weak_das_failures += run.weak_das_ok ? 0 : 1;
-        aggregate.strong_das_failures += run.strong_das_ok ? 0 : 1;
-      }
-    }
-  };
-
-  int thread_count = config.threads;
-  if (thread_count <= 0) {
-    thread_count = static_cast<int>(std::thread::hardware_concurrency());
-    if (thread_count <= 0) {
-      thread_count = 4;
-    }
+    });
   }
-  thread_count = std::min(thread_count, config.runs);
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(thread_count));
-  for (int i = 0; i < thread_count; ++i) {
-    threads.emplace_back(worker);
+  pool.wait_idle();
+  if (first_error) {
+    std::rethrow_exception(first_error);
   }
-  for (auto& thread : threads) {
-    thread.join();
-  }
-  return aggregate;
+  return aggregate_runs(runs, config.check_schedules);
 }
 
 }  // namespace slpdas::core

@@ -1,0 +1,715 @@
+#include "slpdas/core/sweep.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <exception>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <mutex>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace slpdas::core {
+
+// ---------------------------------------------------------------------------
+// Grid expansion
+// ---------------------------------------------------------------------------
+
+SweepGrid& SweepGrid::axis(std::string name, std::vector<AxisValue> values,
+                           bool seeded) {
+  axes_.push_back(Axis{std::move(name), std::move(values), seeded});
+  return *this;
+}
+
+std::vector<SweepCell> SweepGrid::expand() const {
+  std::vector<SweepCell> cells;
+  if (axes_.empty()) {
+    return cells;
+  }
+  std::size_t total = 1;
+  for (const Axis& axis : axes_) {
+    total *= axis.values.size();
+  }
+  cells.reserve(total);
+  std::vector<std::size_t> index(axes_.size(), 0);
+  for (std::size_t cell = 0; cell < total; ++cell) {
+    SweepCell out;
+    out.config = base_;
+    for (std::size_t a = 0; a < axes_.size(); ++a) {
+      const Axis& axis = axes_[a];
+      const AxisValue& value = axis.values[index[a]];
+      if (!out.label.empty()) {
+        out.label += '/';
+      }
+      out.label += axis.name + "=" + value.value;
+      if (axis.seeded) {
+        if (!out.seed_label.empty()) {
+          out.seed_label += '/';
+        }
+        out.seed_label += axis.name + "=" + value.value;
+      }
+      out.coordinates.emplace_back(axis.name, value.value);
+      if (value.apply) {
+        value.apply(out.config);
+      }
+    }
+    if (out.seed_label.empty()) {
+      // Every axis unseeded: all cells share one stream (not the label
+      // fallback, which would give each cell its own).
+      out.seed_label = "*";
+    }
+    cells.push_back(std::move(out));
+    // Row-major increment: the last axis varies fastest.
+    for (std::size_t a = axes_.size(); a-- > 0;) {
+      if (++index[a] < axes_[a].values.size()) {
+        break;
+      }
+      index[a] = 0;
+    }
+  }
+  return cells;
+}
+
+std::uint64_t derive_cell_seed(std::uint64_t base_seed,
+                               std::string_view label) {
+  // FNV-1a over the label keeps the seed a pure function of the cell's
+  // identity, not its position in the grid.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : label) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return derive_seed(base_seed, hash);
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// Mutable state for one in-flight cell.
+struct CellProgress {
+  std::vector<RunResult> runs;
+  std::atomic<int> remaining{0};
+  Clock::time_point started{};
+  std::atomic<bool> started_set{false};
+  double wall_seconds = 0.0;
+};
+
+}  // namespace
+
+SweepResult run_sweep(const std::vector<SweepCell>& cells,
+                      const SweepOptions& options) {
+  ThreadPool pool(options.threads);
+  return run_sweep(cells, options, pool);
+}
+
+SweepResult run_sweep(const std::vector<SweepCell>& cells,
+                      const SweepOptions& options, ThreadPool& pool) {
+  const Clock::time_point sweep_start = Clock::now();
+
+  SweepResult sweep;
+  sweep.threads = pool.thread_count();
+  sweep.cells.resize(cells.size());
+
+  std::vector<CellProgress> progress(cells.size());
+  std::set<std::string_view> labels;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (cells[c].config.runs < 1) {
+      throw std::invalid_argument("run_sweep: cell '" + cells[c].label +
+                                  "' has runs < 1");
+    }
+    if (!labels.insert(cells[c].label).second) {
+      throw std::invalid_argument("run_sweep: duplicate cell label '" +
+                                  cells[c].label + "'");
+    }
+    progress[c].runs.resize(static_cast<std::size_t>(cells[c].config.runs));
+    progress[c].remaining.store(cells[c].config.runs);
+  }
+
+  std::mutex mutex;  // guards worker_ids, finished count, progress stream
+  std::set<std::thread::id> worker_ids;
+  std::size_t cells_finished = 0;
+  std::exception_ptr first_error;
+
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const SweepCell& cell = cells[c];
+    const std::uint64_t cell_seed = derive_cell_seed(
+        options.base_seed,
+        cell.seed_label.empty() ? cell.label : cell.seed_label);
+    sweep.cells[c].label = cell.label;
+    sweep.cells[c].coordinates = cell.coordinates;
+    sweep.cells[c].cell_seed = cell_seed;
+    sweep.cells[c].runs = cell.config.runs;
+
+    for (int run = 0; run < cell.config.runs; ++run) {
+      pool.submit([&, c, run, cell_seed] {
+        CellProgress& state = progress[c];
+        if (!state.started_set.exchange(true)) {
+          state.started = Clock::now();
+        }
+        try {
+          const std::uint64_t seed =
+              derive_seed(cell_seed, static_cast<std::uint64_t>(run));
+          state.runs[static_cast<std::size_t>(run)] =
+              run_single(cells[c].config, seed);
+        } catch (...) {
+          const std::scoped_lock lock(mutex);
+          if (!first_error) {
+            first_error = std::current_exception();
+          }
+        }
+        {
+          const std::scoped_lock lock(mutex);
+          worker_ids.insert(std::this_thread::get_id());
+        }
+        if (state.remaining.fetch_sub(1) == 1) {
+          // Last run of this cell: aggregate in run-index order so the
+          // result is independent of scheduling, then report.
+          state.wall_seconds = seconds_between(state.started, Clock::now());
+          SweepCellResult& out = sweep.cells[c];
+          out.result = aggregate_runs(state.runs, cells[c].config.check_schedules);
+          out.wall_seconds = state.wall_seconds;
+          const std::scoped_lock lock(mutex);
+          ++cells_finished;
+          if (options.progress != nullptr) {
+            std::ostream& log = *options.progress;
+            const auto saved_flags = log.flags();
+            const auto saved_precision = log.precision();
+            log << '[' << cells_finished << '/' << cells.size() << "] "
+                << cells[c].label << " capture="
+                << out.result.capture.successes() << '/'
+                << out.result.capture.trials() << " ("
+                << std::fixed << std::setprecision(1) << state.wall_seconds
+                << "s)\n";
+            log.flags(saved_flags);
+            log.precision(saved_precision);
+            log.flush();
+          }
+        }
+      });
+    }
+  }
+
+  pool.wait_idle();
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+  sweep.distinct_worker_threads = static_cast<int>(worker_ids.size());
+  sweep.wall_seconds = seconds_between(sweep_start, Clock::now());
+  return sweep;
+}
+
+// ---------------------------------------------------------------------------
+// JSON writing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Doubles print with max_digits10 so the round-trip is exact; NaN and
+/// infinities (empty-stat min/max) serialise as null.
+void write_double(std::ostream& out, double value) {
+  if (std::isfinite(value)) {
+    out << std::setprecision(std::numeric_limits<double>::max_digits10)
+        << value;
+  } else {
+    out << "null";
+  }
+}
+
+void write_string(std::ostream& out, std::string_view text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_stats(std::ostream& out, const metrics::RunningStats& stats) {
+  out << "{\"count\": " << stats.count() << ", \"mean\": ";
+  write_double(out, stats.mean());
+  out << ", \"stddev\": ";
+  write_double(out, stats.stddev());
+  out << ", \"min\": ";
+  write_double(out, stats.min());
+  out << ", \"max\": ";
+  write_double(out, stats.max());
+  out << '}';
+}
+
+}  // namespace
+
+void write_sweep_json(std::ostream& out, const SweepResult& result,
+                      std::string_view name) {
+  // Restore the caller's formatting on exit; write_double/write_string
+  // adjust precision, flags and fill along the way.
+  const auto saved_flags = out.flags();
+  const auto saved_precision = out.precision();
+  const auto saved_fill = out.fill();
+  out << "{\n  \"schema\": \"slpdas.sweep.v1\",\n  \"name\": ";
+  write_string(out, name);
+  out << ",\n  \"threads\": " << result.threads
+      << ",\n  \"distinct_worker_threads\": " << result.distinct_worker_threads
+      << ",\n  \"wall_seconds\": ";
+  write_double(out, result.wall_seconds);
+  out << ",\n  \"cells\": [";
+  for (std::size_t c = 0; c < result.cells.size(); ++c) {
+    const SweepCellResult& cell = result.cells[c];
+    out << (c == 0 ? "\n" : ",\n") << "    {\n      \"label\": ";
+    write_string(out, cell.label);
+    out << ",\n      \"coordinates\": {";
+    for (std::size_t i = 0; i < cell.coordinates.size(); ++i) {
+      out << (i == 0 ? "" : ", ");
+      write_string(out, cell.coordinates[i].first);
+      out << ": ";
+      write_string(out, cell.coordinates[i].second);
+    }
+    out << "},\n      \"cell_seed\": " << cell.cell_seed
+        << ",\n      \"runs\": " << cell.runs;
+    const ExperimentResult& r = cell.result;
+    const auto [low, high] = r.capture.wilson95();
+    out << ",\n      \"capture\": {\"trials\": " << r.capture.trials()
+        << ", \"successes\": " << r.capture.successes() << ", \"ratio\": ";
+    write_double(out, r.capture.ratio());
+    out << ", \"wilson95\": [";
+    write_double(out, low);
+    out << ", ";
+    write_double(out, high);
+    out << "]}";
+    const std::pair<const char*, const metrics::RunningStats*> stats[] = {
+        {"capture_time_s", &r.capture_time_s},
+        {"delivery_ratio", &r.delivery_ratio},
+        {"delivery_latency_s", &r.delivery_latency_s},
+        {"control_messages_per_node", &r.control_messages_per_node},
+        {"normal_messages_per_node", &r.normal_messages_per_node},
+        {"attacker_moves", &r.attacker_moves},
+    };
+    for (const auto& [key, value] : stats) {
+      out << ",\n      \"" << key << "\": ";
+      write_stats(out, *value);
+    }
+    out << ",\n      \"schedule_incomplete_runs\": "
+        << r.schedule_incomplete_runs
+        << ",\n      \"weak_das_failures\": " << r.weak_das_failures
+        << ",\n      \"strong_das_failures\": " << r.strong_das_failures
+        << ",\n      \"wall_seconds\": ";
+    write_double(out, cell.wall_seconds);
+    out << "\n    }";
+  }
+  out << (result.cells.empty() ? "]" : "\n  ]") << "\n}\n";
+  out.flags(saved_flags);
+  out.precision(saved_precision);
+  out.fill(saved_fill);
+}
+
+// ---------------------------------------------------------------------------
+// JSON reading (minimal recursive-descent parser, enough for v1 documents)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::istream& in) : text_(read_all(in)) {}
+
+  // -- generic value model --------------------------------------------------
+  struct Value;
+  using Object = std::vector<std::pair<std::string, Value>>;
+  using Array = std::vector<Value>;
+
+  struct Value {
+    enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string raw;  ///< number token verbatim, for exact integer parses
+    std::string string;
+    Object object;
+    Array array;
+
+    [[nodiscard]] const Value* find(std::string_view key) const {
+      if (kind != Kind::kObject) {
+        throw std::runtime_error("sweep json: expected object");
+      }
+      for (const auto& [k, v] : object) {
+        if (k == key) {
+          return &v;
+        }
+      }
+      return nullptr;
+    }
+
+    [[nodiscard]] const Value& at(std::string_view key) const {
+      const Value* value = find(key);
+      if (value == nullptr) {
+        throw std::runtime_error("sweep json: missing key '" +
+                                 std::string(key) + "'");
+      }
+      return *value;
+    }
+
+    [[nodiscard]] double as_number() const {
+      if (kind == Kind::kNull) {
+        return std::numeric_limits<double>::quiet_NaN();
+      }
+      if (kind != Kind::kNumber) {
+        throw std::runtime_error("sweep json: expected number");
+      }
+      return number;
+    }
+
+    /// Exact 64-bit parse from the raw token; doubles would silently lose
+    /// the low bits of seeds above 2^53.
+    [[nodiscard]] std::uint64_t as_u64() const {
+      if (kind != Kind::kNumber || raw.empty() ||
+          raw.find_first_of(".eE-+") != std::string::npos) {
+        throw std::runtime_error("sweep json: expected unsigned integer");
+      }
+      try {
+        std::size_t consumed = 0;
+        const std::uint64_t value = std::stoull(raw, &consumed);
+        if (consumed != raw.size()) {
+          throw std::runtime_error("");
+        }
+        return value;
+      } catch (const std::exception&) {
+        throw std::runtime_error("sweep json: bad integer: " + raw);
+      }
+    }
+
+    [[nodiscard]] const std::string& as_string() const {
+      if (kind != Kind::kString) {
+        throw std::runtime_error("sweep json: expected string");
+      }
+      return string;
+    }
+
+    [[nodiscard]] const Array& as_array() const {
+      if (kind != Kind::kArray) {
+        throw std::runtime_error("sweep json: expected array");
+      }
+      return array;
+    }
+
+    [[nodiscard]] const Object& as_object() const {
+      if (kind != Kind::kObject) {
+        throw std::runtime_error("sweep json: expected object");
+      }
+      return object;
+    }
+  };
+
+  Value parse() {
+    const Value value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      throw std::runtime_error("sweep json: trailing content");
+    }
+    return value;
+  }
+
+ private:
+  static std::string read_all(std::istream& in) {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_whitespace();
+    if (pos_ >= text_.size()) {
+      throw std::runtime_error("sweep json: unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("sweep json: expected '") + c +
+                               "' at offset " + std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.compare(pos_, literal.size(), literal) == 0) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    const char c = peek();
+    Value value;
+    switch (c) {
+      case '{':
+        value.kind = Value::Kind::kObject;
+        value.object = parse_object();
+        return value;
+      case '[':
+        value.kind = Value::Kind::kArray;
+        value.array = parse_array();
+        return value;
+      case '"':
+        value.kind = Value::Kind::kString;
+        value.string = parse_string();
+        return value;
+      case 't':
+        if (consume_literal("true")) {
+          value.kind = Value::Kind::kBool;
+          value.boolean = true;
+          return value;
+        }
+        break;
+      case 'f':
+        if (consume_literal("false")) {
+          value.kind = Value::Kind::kBool;
+          return value;
+        }
+        break;
+      case 'n':
+        if (consume_literal("null")) {
+          return value;
+        }
+        break;
+      default:
+        value.kind = Value::Kind::kNumber;
+        value.raw = parse_number_token();
+        try {
+          // Greedy tokenisation can grab garbage like "1-2"; requiring
+          // stod to consume the whole token rejects it.
+          std::size_t consumed = 0;
+          value.number = std::stod(value.raw, &consumed);
+          if (consumed != value.raw.size()) {
+            throw std::runtime_error("");
+          }
+        } catch (const std::exception&) {
+          throw std::runtime_error("sweep json: malformed number: " +
+                                   value.raw);
+        }
+        return value;
+    }
+    throw std::runtime_error("sweep json: malformed value at offset " +
+                             std::to_string(pos_));
+  }
+
+  Object parse_object() {
+    Object object;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    for (;;) {
+      std::string key = parse_string();
+      expect(':');
+      object.emplace_back(std::move(key), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') {
+        return object;
+      }
+      if (c != ',') {
+        throw std::runtime_error("sweep json: expected ',' or '}'");
+      }
+    }
+  }
+
+  Array parse_array() {
+    Array array;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    for (;;) {
+      array.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') {
+        return array;
+      }
+      if (c != ',') {
+        throw std::runtime_error("sweep json: expected ',' or ']'");
+      }
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char escaped = text_[pos_++];
+      switch (escaped) {
+        case '"':
+        case '\\':
+        case '/':
+          out += escaped;
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            throw std::runtime_error("sweep json: truncated \\u escape");
+          }
+          int code = 0;
+          try {
+            code = std::stoi(text_.substr(pos_, 4), nullptr, 16);
+          } catch (const std::exception&) {
+            throw std::runtime_error("sweep json: malformed \\u escape");
+          }
+          pos_ += 4;
+          // v1 documents only escape control characters, all < 0x80.
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          throw std::runtime_error("sweep json: unknown escape");
+      }
+    }
+    throw std::runtime_error("sweep json: unterminated string");
+  }
+
+  std::string parse_number_token() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (start == pos_) {
+      throw std::runtime_error("sweep json: malformed number");
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+SweepJsonStats parse_stats(const JsonParser::Value& value) {
+  SweepJsonStats stats;
+  stats.count = value.at("count").as_u64();
+  stats.mean = value.at("mean").as_number();
+  stats.stddev = value.at("stddev").as_number();
+  stats.min = value.at("min").as_number();
+  stats.max = value.at("max").as_number();
+  return stats;
+}
+
+}  // namespace
+
+SweepJson read_sweep_json(std::istream& in) {
+  JsonParser parser(in);
+  const JsonParser::Value root = parser.parse();
+
+  SweepJson document;
+  document.schema = root.at("schema").as_string();
+  if (document.schema != "slpdas.sweep.v1") {
+    throw std::runtime_error("sweep json: unknown schema '" + document.schema +
+                             "'");
+  }
+  document.name = root.at("name").as_string();
+  document.threads = static_cast<int>(root.at("threads").as_number());
+  document.wall_seconds = root.at("wall_seconds").as_number();
+
+  for (const JsonParser::Value& cell_value : root.at("cells").as_array()) {
+    SweepJsonCell cell;
+    cell.label = cell_value.at("label").as_string();
+    for (const auto& [key, value] : cell_value.at("coordinates").as_object()) {
+      cell.coordinates.emplace_back(key, value.as_string());
+    }
+    cell.cell_seed = cell_value.at("cell_seed").as_u64();
+    cell.runs = static_cast<int>(cell_value.at("runs").as_number());
+    const JsonParser::Value& capture = cell_value.at("capture");
+    cell.capture_trials = capture.at("trials").as_u64();
+    cell.capture_successes = capture.at("successes").as_u64();
+    cell.capture_ratio = capture.at("ratio").as_number();
+    const JsonParser::Array& wilson = capture.at("wilson95").as_array();
+    if (wilson.size() != 2) {
+      throw std::runtime_error("sweep json: wilson95 must have two entries");
+    }
+    cell.capture_wilson95_low = wilson[0].as_number();
+    cell.capture_wilson95_high = wilson[1].as_number();
+    cell.capture_time_s = parse_stats(cell_value.at("capture_time_s"));
+    cell.delivery_ratio = parse_stats(cell_value.at("delivery_ratio"));
+    cell.delivery_latency_s = parse_stats(cell_value.at("delivery_latency_s"));
+    cell.control_messages_per_node =
+        parse_stats(cell_value.at("control_messages_per_node"));
+    cell.normal_messages_per_node =
+        parse_stats(cell_value.at("normal_messages_per_node"));
+    cell.attacker_moves = parse_stats(cell_value.at("attacker_moves"));
+    cell.schedule_incomplete_runs =
+        static_cast<int>(cell_value.at("schedule_incomplete_runs").as_number());
+    cell.weak_das_failures =
+        static_cast<int>(cell_value.at("weak_das_failures").as_number());
+    cell.strong_das_failures =
+        static_cast<int>(cell_value.at("strong_das_failures").as_number());
+    cell.wall_seconds = cell_value.at("wall_seconds").as_number();
+    document.cells.push_back(std::move(cell));
+  }
+  return document;
+}
+
+}  // namespace slpdas::core

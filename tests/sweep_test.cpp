@@ -1,0 +1,319 @@
+// Tests for the parallel scenario-sweep engine: grid expansion, per-cell
+// seed derivation stability, deterministic execution for any thread
+// count, thread-pool sharing across cells, and JSON round-tripping.
+#include "slpdas/core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "test_util.hpp"
+
+namespace slpdas::core {
+namespace {
+
+ExperimentConfig small_base(int runs = 4) {
+  ExperimentConfig config;
+  config.topology = wsn::make_grid(5);
+  config.parameters = test::fast_parameters(24);
+  config.radio = RadioKind::kCasinoLab;
+  config.runs = runs;
+  config.check_schedules = false;
+  return config;
+}
+
+/// A 2x2 (side x protocol) grid of cheap cells.
+std::vector<SweepCell> small_cells(int runs = 4) {
+  SweepGrid grid(small_base(runs));
+  grid.axis("side", {{"5",
+                      [](ExperimentConfig& config) {
+                        config.topology = wsn::make_grid(5);
+                      }},
+                     {"7",
+                      [](ExperimentConfig& config) {
+                        config.topology = wsn::make_grid(7);
+                      }}});
+  grid.axis("protocol",
+            {{"protectionless-das",
+              [](ExperimentConfig& config) {
+                config.protocol = ProtocolKind::kProtectionlessDas;
+              }},
+             {"slp-das",
+              [](ExperimentConfig& config) {
+                config.protocol = ProtocolKind::kSlpDas;
+              }}});
+  return grid.expand();
+}
+
+void expect_same_result(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.capture.trials(), b.capture.trials());
+  EXPECT_EQ(a.capture.successes(), b.capture.successes());
+  // Aggregation happens in run-index order, so even the floating-point
+  // accumulators must agree to the last bit.
+  EXPECT_EQ(a.capture_time_s.mean(), b.capture_time_s.mean());
+  EXPECT_EQ(a.capture_time_s.stddev(), b.capture_time_s.stddev());
+  EXPECT_EQ(a.delivery_ratio.mean(), b.delivery_ratio.mean());
+  EXPECT_EQ(a.delivery_latency_s.mean(), b.delivery_latency_s.mean());
+  EXPECT_EQ(a.control_messages_per_node.mean(),
+            b.control_messages_per_node.mean());
+  EXPECT_EQ(a.normal_messages_per_node.mean(),
+            b.normal_messages_per_node.mean());
+  EXPECT_EQ(a.attacker_moves.mean(), b.attacker_moves.mean());
+  EXPECT_EQ(a.schedule_incomplete_runs, b.schedule_incomplete_runs);
+}
+
+TEST(SweepGridTest, ExpandsCartesianProductRowMajor) {
+  const auto cells = small_cells();
+  ASSERT_EQ(cells.size(), 4u);
+  // The last axis (protocol) varies fastest.
+  EXPECT_EQ(cells[0].label, "side=5/protocol=protectionless-das");
+  EXPECT_EQ(cells[1].label, "side=5/protocol=slp-das");
+  EXPECT_EQ(cells[2].label, "side=7/protocol=protectionless-das");
+  EXPECT_EQ(cells[3].label, "side=7/protocol=slp-das");
+  ASSERT_EQ(cells[3].coordinates.size(), 2u);
+  EXPECT_EQ(cells[3].coordinates[0].first, "side");
+  EXPECT_EQ(cells[3].coordinates[0].second, "7");
+  EXPECT_EQ(cells[3].coordinates[1].first, "protocol");
+  EXPECT_EQ(cells[3].coordinates[1].second, "slp-das");
+}
+
+TEST(SweepGridTest, MutatorsApplyOnTopOfBase) {
+  const auto cells = small_cells();
+  EXPECT_EQ(cells[0].config.protocol, ProtocolKind::kProtectionlessDas);
+  EXPECT_EQ(cells[1].config.protocol, ProtocolKind::kSlpDas);
+  EXPECT_EQ(cells[0].config.topology.graph.node_count(), 25);
+  EXPECT_EQ(cells[2].config.topology.graph.node_count(), 49);
+  // Base fields untouched by any axis survive into every cell.
+  for (const SweepCell& cell : cells) {
+    EXPECT_EQ(cell.config.radio, RadioKind::kCasinoLab);
+    EXPECT_EQ(cell.config.runs, 4);
+  }
+}
+
+TEST(SweepGridTest, EmptyGridAndEmptyAxisExpandToNothing) {
+  EXPECT_TRUE(SweepGrid(small_base()).expand().empty());
+  SweepGrid grid(small_base());
+  grid.axis("side", {});
+  EXPECT_TRUE(grid.expand().empty());
+}
+
+TEST(SweepSeedTest, CellSeedDependsOnlyOnBaseSeedAndLabel) {
+  const std::uint64_t seed = derive_cell_seed(42, "side=11/protocol=slp-das");
+  EXPECT_EQ(seed, derive_cell_seed(42, "side=11/protocol=slp-das"));
+  EXPECT_NE(seed, derive_cell_seed(43, "side=11/protocol=slp-das"));
+  EXPECT_NE(seed, derive_cell_seed(42, "side=15/protocol=slp-das"));
+}
+
+TEST(SweepSeedTest, CellResultsInvariantUnderGridEdits) {
+  // Run the full grid, then just one of its cells: the shared cell must
+  // produce identical results because its seed keys off the label, not
+  // the cell's position in (or the size of) the grid.
+  const auto cells = small_cells();
+  SweepOptions options;
+  options.threads = 2;
+  options.base_seed = 9;
+  const SweepResult full = run_sweep(cells, options);
+  const SweepResult just_last = run_sweep({cells[3]}, options);
+  ASSERT_EQ(just_last.cells.size(), 1u);
+  EXPECT_EQ(full.cells[3].cell_seed, just_last.cells[0].cell_seed);
+  expect_same_result(full.cells[3].result, just_last.cells[0].result);
+}
+
+TEST(SweepRunTest, DeterministicAcrossThreadCounts) {
+  const auto cells = small_cells();
+  SweepOptions serial;
+  serial.threads = 1;
+  serial.base_seed = 5;
+  SweepOptions wide;
+  wide.threads = 4;
+  wide.base_seed = 5;
+  const SweepResult a = run_sweep(cells, serial);
+  const SweepResult b = run_sweep(cells, wide);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].label, b.cells[i].label);
+    EXPECT_EQ(a.cells[i].cell_seed, b.cells[i].cell_seed);
+    expect_same_result(a.cells[i].result, b.cells[i].result);
+  }
+}
+
+TEST(SweepRunTest, SharesOnePoolAcrossAllCells) {
+  // Six cells on a two-worker pool: a per-experiment pool would have
+  // spawned 2 workers per cell (12 distinct ids); the shared pool never
+  // exceeds its size no matter how many cells run.
+  SweepGrid grid(small_base(2));
+  std::vector<SweepGrid::AxisValue> values;
+  for (int i = 0; i < 6; ++i) {
+    values.push_back({std::to_string(i), nullptr});
+  }
+  grid.axis("cell", std::move(values));
+  SweepOptions options;
+  options.threads = 2;
+  const SweepResult result = run_sweep(grid.expand(), options);
+  EXPECT_EQ(result.threads, 2);
+  EXPECT_GE(result.distinct_worker_threads, 1);
+  EXPECT_LE(result.distinct_worker_threads, 2);
+}
+
+TEST(SweepRunTest, ExternalPoolIsReusedAcrossSweeps) {
+  ThreadPool pool(2);
+  const auto cells = small_cells(2);
+  SweepOptions options;
+  const SweepResult first = run_sweep(cells, options, pool);
+  const SweepResult second = run_sweep(cells, options, pool);
+  EXPECT_EQ(first.threads, 2);
+  EXPECT_EQ(second.threads, 2);
+  expect_same_result(first.cells[0].result, second.cells[0].result);
+}
+
+TEST(SweepSeedTest, UnseededAxisSharesOneSeedStream) {
+  // With the protocol axis marked unseeded, both protocols face the same
+  // per-run seeds (common random numbers), so their cell seeds match
+  // while their labels stay distinct.
+  SweepGrid grid(small_base(2));
+  grid.axis("side", {{"5", nullptr}});
+  grid.axis("protocol",
+            {{"protectionless-das",
+              [](ExperimentConfig& config) {
+                config.protocol = ProtocolKind::kProtectionlessDas;
+              }},
+             {"slp-das",
+              [](ExperimentConfig& config) {
+                config.protocol = ProtocolKind::kSlpDas;
+              }}},
+            /*seeded=*/false);
+  const auto cells = grid.expand();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_NE(cells[0].label, cells[1].label);
+  EXPECT_EQ(cells[0].seed_label, "side=5");
+  EXPECT_EQ(cells[1].seed_label, "side=5");
+  const SweepResult result = run_sweep(cells, SweepOptions{});
+  EXPECT_EQ(result.cells[0].cell_seed, result.cells[1].cell_seed);
+}
+
+TEST(SweepRunTest, RejectsDuplicateLabels) {
+  auto cells = small_cells();
+  cells[1].label = cells[0].label;
+  EXPECT_THROW((void)run_sweep(cells, SweepOptions{}),
+               std::invalid_argument);
+}
+
+TEST(SweepRunTest, RejectsCellWithNoRuns) {
+  auto cells = small_cells();
+  cells[1].config.runs = 0;
+  EXPECT_THROW((void)run_sweep(cells, SweepOptions{}),
+               std::invalid_argument);
+}
+
+TEST(SweepRunTest, ProgressReportsEveryCell) {
+  std::ostringstream progress;
+  SweepOptions options;
+  options.threads = 2;
+  options.progress = &progress;
+  (void)run_sweep(small_cells(2), options);
+  const std::string text = progress.str();
+  for (const SweepCell& cell : small_cells(2)) {
+    EXPECT_NE(text.find(cell.label), std::string::npos) << text;
+  }
+  EXPECT_NE(text.find("[4/4]"), std::string::npos) << text;
+}
+
+TEST(SweepJsonTest, RoundTripsThroughTheV1Schema) {
+  const auto cells = small_cells();
+  SweepOptions options;
+  options.threads = 2;
+  options.base_seed = 11;
+  const SweepResult sweep = run_sweep(cells, options);
+
+  std::stringstream stream;
+  write_sweep_json(stream, sweep, "sweep_test");
+  const SweepJson parsed = read_sweep_json(stream);
+
+  EXPECT_EQ(parsed.schema, "slpdas.sweep.v1");
+  EXPECT_EQ(parsed.name, "sweep_test");
+  EXPECT_EQ(parsed.threads, sweep.threads);
+  ASSERT_EQ(parsed.cells.size(), sweep.cells.size());
+  for (std::size_t i = 0; i < parsed.cells.size(); ++i) {
+    const SweepJsonCell& json_cell = parsed.cells[i];
+    const SweepCellResult& cell = sweep.cells[i];
+    EXPECT_EQ(json_cell.label, cell.label);
+    EXPECT_EQ(json_cell.coordinates, cell.coordinates);
+    EXPECT_EQ(json_cell.cell_seed, cell.cell_seed);
+    EXPECT_EQ(json_cell.runs, cell.runs);
+    EXPECT_EQ(json_cell.capture_trials, cell.result.capture.trials());
+    EXPECT_EQ(json_cell.capture_successes, cell.result.capture.successes());
+    // Doubles print with max_digits10, so the round-trip is exact.
+    EXPECT_EQ(json_cell.capture_ratio, cell.result.capture.ratio());
+    const auto [low, high] = cell.result.capture.wilson95();
+    EXPECT_EQ(json_cell.capture_wilson95_low, low);
+    EXPECT_EQ(json_cell.capture_wilson95_high, high);
+    EXPECT_EQ(json_cell.delivery_ratio.count, cell.result.delivery_ratio.count());
+    EXPECT_EQ(json_cell.delivery_ratio.mean, cell.result.delivery_ratio.mean());
+    EXPECT_EQ(json_cell.delivery_ratio.stddev,
+              cell.result.delivery_ratio.stddev());
+    EXPECT_EQ(json_cell.attacker_moves.mean, cell.result.attacker_moves.mean());
+    EXPECT_EQ(json_cell.schedule_incomplete_runs,
+              cell.result.schedule_incomplete_runs);
+  }
+}
+
+TEST(SweepJsonTest, EmptyStatsSerialiseMinMaxAsNull) {
+  SweepResult sweep;
+  sweep.cells.resize(1);
+  sweep.cells[0].label = "empty";
+  sweep.cells[0].runs = 0;
+  std::stringstream stream;
+  write_sweep_json(stream, sweep, "empty");
+  EXPECT_NE(stream.str().find("\"min\": null"), std::string::npos);
+  const SweepJson parsed = read_sweep_json(stream);
+  ASSERT_EQ(parsed.cells.size(), 1u);
+  EXPECT_TRUE(std::isnan(parsed.cells[0].capture_time_s.min));
+  EXPECT_TRUE(std::isnan(parsed.cells[0].capture_time_s.max));
+}
+
+TEST(SweepJsonTest, RejectsMalformedAndUnknownSchema) {
+  {
+    std::stringstream stream("{\"schema\": \"slpdas.sweep.v999\"}");
+    EXPECT_THROW((void)read_sweep_json(stream), std::runtime_error);
+  }
+  {
+    std::stringstream stream("{\"schema\": ");
+    EXPECT_THROW((void)read_sweep_json(stream), std::runtime_error);
+  }
+  {
+    std::stringstream stream("not json at all");
+    EXPECT_THROW((void)read_sweep_json(stream), std::runtime_error);
+  }
+  {
+    // Wrong-typed fields must throw, not parse as empty.
+    std::stringstream stream(
+        "{\"schema\": \"slpdas.sweep.v1\", \"name\": \"x\", \"threads\": 1, "
+        "\"wall_seconds\": 0, \"distinct_worker_threads\": 1, \"cells\": 0}");
+    EXPECT_THROW((void)read_sweep_json(stream), std::runtime_error);
+  }
+  {
+    // Numbers with trailing garbage must not silently truncate.
+    std::stringstream stream(
+        "{\"schema\": \"slpdas.sweep.v1\", \"name\": \"x\", \"threads\": 1, "
+        "\"wall_seconds\": 1-2, \"cells\": []}");
+    EXPECT_THROW((void)read_sweep_json(stream), std::runtime_error);
+  }
+}
+
+TEST(SweepJsonTest, EscapesLabelStrings) {
+  SweepResult sweep;
+  sweep.cells.resize(1);
+  sweep.cells[0].label = "quote\" back\\slash\nnewline";
+  sweep.cells[0].runs = 0;
+  std::stringstream stream;
+  write_sweep_json(stream, sweep, "escapes");
+  const SweepJson parsed = read_sweep_json(stream);
+  ASSERT_EQ(parsed.cells.size(), 1u);
+  EXPECT_EQ(parsed.cells[0].label, "quote\" back\\slash\nnewline");
+}
+
+}  // namespace
+}  // namespace slpdas::core
