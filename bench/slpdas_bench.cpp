@@ -1,0 +1,359 @@
+// slpdas_bench — the one CLI for every paper experiment.
+//
+// Each experiment (fig5a, fig5b, cmp_phantom, abl_*, table1,
+// message_overhead, perf_*) is a registered core::Scenario; this binary
+// lists, filters and runs them over ONE shared core::Sweep thread pool,
+// with uniform flags, and shards grids across processes:
+//
+//   slpdas_bench list
+//   slpdas_bench --all --smoke --json            # CI smoke: every scenario
+//   slpdas_bench fig5a --runs 100 --threads 8 --progress --json
+//   slpdas_bench fig5a --deterministic --shard 0/2 --json   # process 1
+//   slpdas_bench fig5a --deterministic --shard 1/2 --json   # process 2
+//   slpdas_bench merge BENCH_fig5a.shard0of2.json
+//                      BENCH_fig5a.shard1of2.json --out BENCH_fig5a.json
+//   slpdas_bench report BENCH_fig5a.json         # re-render the table
+//
+// With --deterministic, the merged document is bit-identical to an
+// unsharded run (same --threads), which the shard_merge_test locks in.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "slpdas/core/scenario.hpp"
+#include "slpdas/metrics/table.hpp"
+
+namespace {
+
+using namespace slpdas;
+
+struct CliOptions {
+  std::vector<std::string> names;
+  bool all = false;
+  bool list = false;
+  bool progress = false;
+  bool json = false;
+  bool deterministic = false;
+  core::ScenarioOptions scenario;
+  int threads = 0;
+  int shard_index = 0;
+  int shard_count = 1;
+  std::string out_dir = ".";
+  std::string merge_out;  ///< merge: --out path ("" = stdout)
+};
+
+int usage(std::ostream& out, int code) {
+  out << "usage:\n"
+         "  slpdas_bench list\n"
+         "  slpdas_bench [run] (--all | SCENARIO...) [options]\n"
+         "  slpdas_bench report FILE...\n"
+         "  slpdas_bench merge FILE... [--out PATH]\n"
+         "\nrun options:\n"
+         "  --runs N         seeds per grid cell (0 = scenario default)\n"
+         "  --seed N         sweep base seed (0 = scenario default)\n"
+         "  --sd N           search distance override (fig5 family)\n"
+         "  --threads N      shared pool size (0 = hardware concurrency)\n"
+         "  --progress       per-cell progress lines on stderr\n"
+         "  --smoke          smallest grid, one run per cell\n"
+         "  --json           write BENCH_<name>.json (per scenario)\n"
+         "  --out-dir DIR    directory for --json files (default .)\n"
+         "  --shard I/N      run only this process's share of each grid\n"
+         "  --deterministic  zero wall clocks so output is bit-reproducible\n";
+  return code;
+}
+
+int list_scenarios(std::ostream& out) {
+  metrics::Table table({"scenario", "paper anchor", "cells", "runs/cell",
+                        "summary"});
+  for (const core::Scenario& scenario :
+       core::ScenarioRegistry::global().scenarios()) {
+    const core::ScenarioOptions defaults;
+    table.add_row({scenario.name, scenario.reference,
+                   std::to_string(scenario.make_cells(defaults).size()),
+                   std::to_string(scenario.default_runs), scenario.summary});
+  }
+  table.print(out);
+  out << "\nrun one with: slpdas_bench <scenario> [--runs N] [--json], or "
+         "all of them with --all\n";
+  return 0;
+}
+
+core::SweepJson load_document(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  return core::read_sweep_json(in);
+}
+
+int run_scenarios(const CliOptions& options) {
+  const core::ScenarioRegistry& registry = core::ScenarioRegistry::global();
+  std::vector<const core::Scenario*> selected;
+  if (options.all) {
+    for (const core::Scenario& scenario : registry.scenarios()) {
+      selected.push_back(&scenario);
+    }
+  } else {
+    for (const std::string& name : options.names) {
+      const core::Scenario* scenario = registry.find(name);
+      if (scenario == nullptr) {
+        std::cerr << "unknown scenario '" << name << "'; available:";
+        for (const core::Scenario& s : registry.scenarios()) {
+          std::cerr << ' ' << s.name;
+        }
+        std::cerr << '\n';
+        return 2;
+      }
+      selected.push_back(scenario);
+    }
+  }
+  if (selected.empty()) {
+    return usage(std::cerr, 2);
+  }
+  if (options.shard_count > 1 && !options.json) {
+    // Without --json a shard's results would be computed and then thrown
+    // away (reports only render from complete documents) — refuse up
+    // front rather than after hours of sweep work.
+    std::cerr << "--shard requires --json: shard results are only useful "
+                 "as documents for 'slpdas_bench merge'\n";
+    return 2;
+  }
+
+  // One pool for everything: scenarios run back to back, their (cell,
+  // run) work items all scheduled onto these workers.
+  core::ThreadPool pool(options.threads);
+  core::ScenarioExecution execution;
+  execution.shard_index = options.shard_index;
+  execution.shard_count = options.shard_count;
+  execution.deterministic_timing = options.deterministic;
+  execution.progress = options.progress ? &std::cerr : nullptr;
+
+  const bool sharded = options.shard_count > 1;
+  int exit_code = 0;
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const core::Scenario& scenario = *selected[i];
+    if (i > 0) {
+      std::cout << '\n';
+    }
+    std::cout << "=== " << scenario.name << " — " << scenario.reference
+              << " ===\n";
+    const core::SweepJson document =
+        core::run_scenario(scenario, options.scenario, execution, pool);
+
+    if (options.json) {
+      std::string path = options.out_dir + "/BENCH_" + scenario.name;
+      if (sharded) {
+        path += ".shard" + std::to_string(options.shard_index) + "of" +
+                std::to_string(options.shard_count);
+      }
+      path += ".json";
+      std::ofstream json(path);
+      if (!json) {
+        std::cerr << "cannot open " << path << " for writing\n";
+        return 1;
+      }
+      core::write_sweep_json(json, document);
+      std::cout << "(wrote " << path << ")\n";
+    }
+
+    if (sharded) {
+      std::cout << "shard " << options.shard_index << "/"
+                << options.shard_count << ": ran " << document.cells.size()
+                << " of " << document.cells_total
+                << " cells; merge the shard documents to render the "
+                   "report\n";
+    } else {
+      const int code = scenario.report(std::cout, document, options.scenario);
+      exit_code = std::max(exit_code, code);
+    }
+  }
+  return exit_code;
+}
+
+int report_files(const std::vector<std::string>& paths,
+                 const core::ScenarioOptions& scenario_options) {
+  if (paths.empty()) {
+    return usage(std::cerr, 2);
+  }
+  int exit_code = 0;
+  for (const std::string& path : paths) {
+    const core::SweepJson document = load_document(path);
+    if (document.shard_count > 1) {
+      std::cerr << path << ": shard " << document.shard_index << "/"
+                << document.shard_count
+                << " — merge the shard documents before reporting\n";
+      return 1;
+    }
+    const core::Scenario* scenario =
+        core::ScenarioRegistry::global().find(document.name);
+    if (scenario == nullptr) {
+      std::cerr << path << ": no registered scenario named '" << document.name
+                << "'\n";
+      return 1;
+    }
+    std::cout << "=== " << scenario->name << " — " << scenario->reference
+              << " (from " << path << ") ===\n";
+    exit_code = std::max(
+        exit_code, scenario->report(std::cout, document, scenario_options));
+  }
+  return exit_code;
+}
+
+int merge_files(const std::vector<std::string>& paths,
+                const std::string& out_path) {
+  if (paths.size() < 1) {
+    return usage(std::cerr, 2);
+  }
+  std::vector<core::SweepJson> shards;
+  shards.reserve(paths.size());
+  for (const std::string& path : paths) {
+    shards.push_back(load_document(path));
+  }
+  const core::SweepJson merged = core::merge_sweep_shards(std::move(shards));
+  if (out_path.empty()) {
+    core::write_sweep_json(std::cout, merged);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot open " << out_path << " for writing\n";
+      return 1;
+    }
+    core::write_sweep_json(out, merged);
+    std::cerr << "(wrote " << out_path << ")\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::register_builtin_scenarios();
+
+  CliOptions options;
+  std::string command = "run";
+  int first = 1;
+  if (argc > 1) {
+    const std::string arg = argv[1];
+    if (arg == "list" || arg == "run" || arg == "report" || arg == "merge") {
+      command = arg;
+      first = 2;
+    }
+  }
+
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << '\n';
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    // Strict parses: reject trailing garbage and out-of-range values
+    // instead of silently truncating them into a different experiment.
+    const auto next_int = [&](const char* flag) {
+      const std::string value = next_value(flag);
+      std::size_t consumed = 0;
+      const int parsed = std::stoi(value, &consumed);
+      if (consumed != value.size()) {
+        throw std::invalid_argument("trailing characters in '" + value + "'");
+      }
+      return parsed;
+    };
+    const auto next_u64 = [&](const char* flag) {
+      const std::string value = next_value(flag);
+      std::size_t consumed = 0;
+      const std::uint64_t parsed = std::stoull(value, &consumed);
+      if (consumed != value.size() || value.front() == '-') {
+        throw std::invalid_argument("expected unsigned integer, got '" +
+                                    value + "'");
+      }
+      return parsed;
+    };
+    try {
+      if (arg == "--help" || arg == "-h") {
+        return usage(std::cout, 0);
+      } else if (arg == "--list") {
+        options.list = true;
+      } else if (arg == "--all") {
+        options.all = true;
+      } else if (arg == "--runs") {
+        options.scenario.runs = next_int("--runs");
+        if (options.scenario.runs < 0) {
+          std::cerr << "--runs must be >= 0 (0 = scenario default)\n";
+          return 2;
+        }
+      } else if (arg == "--seed") {
+        options.scenario.base_seed = next_u64("--seed");
+      } else if (arg == "--sd") {
+        options.scenario.search_distance = next_int("--sd");
+      } else if (arg == "--threads") {
+        options.threads = next_int("--threads");
+      } else if (arg == "--smoke") {
+        options.scenario.smoke = true;
+      } else if (arg == "--progress") {
+        options.progress = true;
+      } else if (arg == "--json") {
+        options.json = true;
+      } else if (arg == "--out-dir") {
+        options.out_dir = next_value("--out-dir");
+      } else if (arg == "--out") {
+        options.merge_out = next_value("--out");
+      } else if (arg == "--deterministic") {
+        options.deterministic = true;
+      } else if (arg == "--shard") {
+        const std::string value = next_value("--shard");
+        const std::size_t slash = value.find('/');
+        if (slash == std::string::npos) {
+          std::cerr << "--shard expects I/N, e.g. 0/4\n";
+          return 2;
+        }
+        // Same strictness as the other numeric flags: a typo must not
+        // silently run the wrong shard of an hours-long sweep.
+        std::size_t index_end = 0;
+        std::size_t count_end = 0;
+        const std::string count_text = value.substr(slash + 1);
+        options.shard_index = std::stoi(value.substr(0, slash), &index_end);
+        options.shard_count = std::stoi(count_text, &count_end);
+        if (index_end != slash || count_end != count_text.size() ||
+            options.shard_count < 1 || options.shard_index < 0 ||
+            options.shard_index >= options.shard_count) {
+          std::cerr << "--shard " << value
+                    << " is malformed or out of range (expects I/N)\n";
+          return 2;
+        }
+      } else if (!arg.empty() && arg.front() == '-') {
+        std::cerr << "unknown argument " << arg << '\n';
+        return usage(std::cerr, 2);
+      } else {
+        options.names.push_back(arg);
+      }
+    } catch (const std::exception& error) {
+      std::cerr << "bad value for " << arg << ": " << error.what() << '\n';
+      return 2;
+    }
+  }
+
+  try {
+    if (command == "list" || options.list) {
+      return list_scenarios(std::cout);
+    }
+    if (command == "report") {
+      return report_files(options.names, options.scenario);
+    }
+    if (command == "merge") {
+      return merge_files(options.names, options.merge_out);
+    }
+    return run_scenarios(options);
+  } catch (const std::exception& error) {
+    std::cerr << "slpdas_bench: " << error.what() << '\n';
+    return 1;
+  }
+}

@@ -75,6 +75,10 @@ struct RunResult {
   bool schedule_complete = false;
   bool weak_das_ok = false;
   bool strong_das_ok = false;
+  /// Slot-band shape of the extracted schedule (complete, non-phantom runs
+  /// only): max - min + 1 and assigned/span (see mac::ScheduleStats).
+  int schedule_slot_span = 0;
+  double schedule_density = 0.0;
   double delivery_ratio = 0.0;      ///< sink-delivered / source-generated
   double delivery_latency_s = 0.0;  ///< mean aggregation latency at the sink
   double control_messages_per_node = 0.0;  ///< HELLO+DISSEM+SEARCH+CHANGE
@@ -91,6 +95,8 @@ struct ExperimentResult {
   metrics::RunningStats control_messages_per_node;
   metrics::RunningStats normal_messages_per_node;
   metrics::RunningStats attacker_moves;
+  metrics::RunningStats slot_band_span;     ///< complete schedules only
+  metrics::RunningStats schedule_density;   ///< complete schedules only
   int schedule_incomplete_runs = 0;
   int weak_das_failures = 0;
   int strong_das_failures = 0;

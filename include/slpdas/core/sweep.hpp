@@ -9,14 +9,23 @@
 // any other cell's results, and aggregation happens in run-index order so
 // a sweep's output is byte-identical for any thread count.
 //
+// Sweeps also scale past one process: `SweepOptions::shard_index/count`
+// deterministically partitions the grid by cell index, each shard emits
+// its own JSON document, and merge_sweep_shards recombines shard
+// documents into one that (with deterministic timing) is bit-identical
+// to an unsharded run.
+//
 // Results serialise to the BENCH_*.json schema documented in README.md
-// ("slpdas.sweep.v1") and parse back via read_sweep_json for tooling and
-// round-trip tests.
+// ("slpdas.sweep.v2"; v1 documents still parse) via a single writer over
+// the SweepJson model, so a written-then-reparsed-then-rewritten document
+// is byte-stable — the property the shard merge relies on.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -88,9 +97,26 @@ struct SweepOptions {
   int threads = 0;              ///< 0 = hardware concurrency
   std::uint64_t base_seed = 1;  ///< sweep-level seed, mixed per cell
   std::ostream* progress = nullptr;  ///< when set, one line per finished cell
+  /// Progress lines accumulate in an internal buffer that flushes as ONE
+  /// stream write (so concurrent writers never interleave partial lines)
+  /// at most once per this interval. Lines buffered inside the interval
+  /// are written with the next completed cell or at sweep end — no timer
+  /// thread runs, so a lull in completions delays the flush too.
+  int progress_interval_ms = 100;
+  /// This process's shard: runs only cells whose index in the full cell
+  /// list satisfies `index % shard_count == shard_index`. Seeds still
+  /// derive from the full grid, so shard results are bit-identical to the
+  /// same cells of an unsharded run.
+  int shard_index = 0;
+  int shard_count = 1;
+  /// Records every wall_seconds as 0 and distinct_worker_threads as 0, so
+  /// the serialised document is a pure function of (cells, base_seed,
+  /// threads) — required for the merge-exact shard round-trip.
+  bool deterministic_timing = false;
 };
 
 struct SweepCellResult {
+  std::size_t index = 0;  ///< position in the FULL (unsharded) cell list
   std::string label;
   std::vector<std::pair<std::string, std::string>> coordinates;
   std::uint64_t cell_seed = 0;
@@ -100,21 +126,30 @@ struct SweepCellResult {
 };
 
 struct SweepResult {
-  std::vector<SweepCellResult> cells;  ///< same order as the input cells
-  int threads = 0;                     ///< pool size used
+  std::vector<SweepCellResult> cells;  ///< this shard's cells, grid order
+  std::uint64_t base_seed = 0;  ///< the sweep seed every cell derived from
+  /// Fingerprint of the FULL grid (every cell's label, seed label and run
+  /// count, in order) — identical across shards of one sweep because each
+  /// shard is handed the whole cell list. Lets merge refuse shards that
+  /// were produced from different grids (e.g. mismatched --sd or --runs).
+  std::uint64_t grid_hash = 0;
+  int shard_index = 0;
+  int shard_count = 1;
+  std::size_t cells_total = 0;  ///< full grid size across all shards
+  int threads = 0;              ///< pool size used
   /// Distinct worker-thread ids observed across ALL cells; with a shared
   /// pool this never exceeds `threads` no matter how many cells ran.
   int distinct_worker_threads = 0;
   double wall_seconds = 0.0;
 };
 
-/// Runs every (cell, run) pair on an internally owned pool of
-/// `options.threads` workers. `config.runs` supplies the run count; run
+/// Runs every (cell, run) pair of this shard on an internally owned pool
+/// of `options.threads` workers. `config.runs` supplies the run count; run
 /// `i` of a cell uses derive_seed(derive_cell_seed(options.base_seed,
 /// seed label), i) — each cell's `config.base_seed` and `config.threads`
 /// are ignored (seeds are sweep-derived, the pool is shared). Throws
-/// std::invalid_argument on duplicate labels or a cell with runs < 1.
-/// Deterministic in (cells, options.base_seed).
+/// std::invalid_argument on duplicate labels, a cell with runs < 1, or an
+/// invalid shard spec. Deterministic in (cells, options.base_seed).
 [[nodiscard]] SweepResult run_sweep(const std::vector<SweepCell>& cells,
                                     const SweepOptions& options);
 
@@ -123,22 +158,22 @@ struct SweepResult {
                                     const SweepOptions& options,
                                     ThreadPool& pool);
 
-/// Serialises a sweep to the "slpdas.sweep.v1" JSON schema. `name` is the
-/// bench identifier (conventionally the BENCH_<name>.json file stem).
-void write_sweep_json(std::ostream& out, const SweepResult& result,
-                      std::string_view name);
-
-/// Parsed-back view of a sweep JSON document (the fields tooling needs;
-/// wall-clock timings are parsed but not compared by tests).
+/// Parsed/serialisable view of a sweep JSON document. This is the value
+/// model behind the single JSON writer: SweepResults convert into it, the
+/// reader produces it, and merge_sweep_shards combines instances of it.
 struct SweepJsonStats {
   std::uint64_t count = 0;
   double mean = 0.0;
   double stddev = 0.0;
-  double min = 0.0;  ///< NaN when count == 0 (serialised as null)
-  double max = 0.0;  ///< NaN when count == 0 (serialised as null)
+  /// NaN when count == 0 (serialised as null) — also the default, so an
+  /// absent stats block (legacy v1 document) re-serialises as null, not
+  /// as a fabricated 0.
+  double min = std::numeric_limits<double>::quiet_NaN();
+  double max = std::numeric_limits<double>::quiet_NaN();
 };
 
 struct SweepJsonCell {
+  std::uint64_t index = 0;  ///< position in the full (unsharded) grid
   std::string label;
   std::vector<std::pair<std::string, std::string>> coordinates;
   std::uint64_t cell_seed = 0;
@@ -154,22 +189,70 @@ struct SweepJsonCell {
   SweepJsonStats control_messages_per_node;
   SweepJsonStats normal_messages_per_node;
   SweepJsonStats attacker_moves;
+  SweepJsonStats slot_band_span;
+  SweepJsonStats schedule_density;
   int schedule_incomplete_runs = 0;
   int weak_das_failures = 0;
   int strong_das_failures = 0;
   double wall_seconds = 0.0;
+
+  /// Coordinate value for axis `name`, or nullptr when absent.
+  [[nodiscard]] const std::string* coordinate(std::string_view name) const;
 };
 
 struct SweepJson {
-  std::string schema;
+  std::string schema;  ///< "slpdas.sweep.v2" when written by this library
   std::string name;
+  /// The sweep seed (SweepOptions::base_seed) recorded so documents are
+  /// self-describing and merge can refuse mixed-seed shard sets, which
+  /// would silently break common-random-numbers pairings. 0 in legacy
+  /// v1 documents.
+  std::uint64_t base_seed = 0;
+  /// Full-grid fingerprint (see SweepResult::grid_hash); merge refuses
+  /// shard sets whose grids differ. 0 in legacy v1 documents.
+  std::uint64_t grid_hash = 0;
+  int shard_index = 0;
+  int shard_count = 1;
+  std::uint64_t cells_total = 0;
   int threads = 0;
+  int distinct_worker_threads = 0;
   double wall_seconds = 0.0;
   std::vector<SweepJsonCell> cells;
+
+  /// Cell with the given label, or nullptr when absent (e.g. in a shard).
+  [[nodiscard]] const SweepJsonCell* find_cell(std::string_view label) const;
 };
 
-/// Parses a "slpdas.sweep.v1" document. Throws std::runtime_error on
-/// malformed input or an unknown schema string.
+/// Converts a sweep result into the JSON value model. `name` is the bench
+/// identifier (conventionally the BENCH_<name>.json file stem).
+[[nodiscard]] SweepJson to_sweep_json(const SweepResult& result,
+                                      std::string_view name);
+
+/// Serialises the "slpdas.sweep.v2" schema. All documents — fresh runs,
+/// reparsed files, merged shards — go through this one writer, so equal
+/// values always produce equal bytes.
+void write_sweep_json(std::ostream& out, const SweepJson& document);
+
+/// Convenience: to_sweep_json + write_sweep_json.
+void write_sweep_json(std::ostream& out, const SweepResult& result,
+                      std::string_view name);
+
+/// Parses a "slpdas.sweep.v2" document ("slpdas.sweep.v1" is accepted for
+/// old files: shard metadata defaults to 1-of-1 and cell indices to their
+/// position). Throws std::runtime_error on malformed input or an unknown
+/// schema string.
 [[nodiscard]] SweepJson read_sweep_json(std::istream& in);
+
+/// Recombines shard documents of one sweep into the unsharded document:
+/// the inputs must share name, base_seed, grid_hash and cells_total,
+/// carry shard_count equal to
+/// the number of documents with each shard_index present exactly once,
+/// and their cells must cover every index 0..cells_total-1 exactly once.
+/// The merged document has shard 0-of-1, threads and
+/// distinct_worker_threads as the per-shard maxima, and wall_seconds as
+/// the per-shard sum — so merging deterministic-timing shards reproduces
+/// the unsharded deterministic document bit for bit. Throws
+/// std::runtime_error on inconsistent inputs.
+[[nodiscard]] SweepJson merge_sweep_shards(std::vector<SweepJson> shards);
 
 }  // namespace slpdas::core

@@ -8,7 +8,7 @@
 // SMALLEST slot that is (a) strictly greater than all of its tree
 // children's slots and (b) non-colliding in its 2-hop neighbourhood
 // (Definition 1). The result is a compact weak DAS whose max slot bounds
-// the aggregation latency in slots; `bench_ablation_schedulers` compares
+// the aggregation latency in slots; the `abl_schedulers` scenario compares
 // the two constructions on compactness and on attacker behaviour.
 #pragma once
 

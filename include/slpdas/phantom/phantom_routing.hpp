@@ -4,7 +4,7 @@
 // The paper positions MAC-level SLP against routing-level techniques
 // "with typically high message overhead"; this module implements the
 // representative routing technique so the comparison can actually be run
-// (bench_comparison_phantom). Protocol:
+// (the `cmp_phantom` scenario). Protocol:
 //
 //   setup:       HELLO beacons (neighbour discovery) followed by a sink
 //                BEACON flood that gives every node its hop distance.

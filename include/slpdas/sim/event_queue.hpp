@@ -6,9 +6,10 @@
 // main reason we built our own simulator (DESIGN.md section 2).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "slpdas/sim/time.hpp"
@@ -23,30 +24,32 @@ class EventQueue {
   /// current head time but must never be in the past relative to the last
   /// popped event; the Simulator enforces that invariant.
   void push(SimTime at, Action action) {
-    heap_.push(Entry{at, next_sequence_++, std::move(action)});
+    heap_.push_back(Entry{at, next_sequence_++, std::move(action)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
 
   /// Timestamp of the next event; undefined when empty.
-  [[nodiscard]] SimTime next_time() const { return heap_.top().at; }
+  [[nodiscard]] SimTime next_time() const { return heap_.front().at; }
 
   /// Removes and returns the next event's action, advancing `now` out-param
-  /// to its timestamp.
+  /// to its timestamp. An explicit push_heap/pop_heap heap (rather than
+  /// std::priority_queue) keeps the popped entry mutable, so the action
+  /// moves out without casting away const.
   [[nodiscard]] Action pop(SimTime& now) {
-    // std::priority_queue::top() is const; the action must be moved out, so
-    // we const_cast the (about to be popped) entry. This is safe because the
-    // entry is removed immediately afterwards and never reused.
-    auto& top = const_cast<Entry&>(heap_.top());
-    now = top.at;
-    Action action = std::move(top.action);
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry& entry = heap_.back();
+    now = entry.at;
+    Action action = std::move(entry.action);
+    heap_.pop_back();
     return action;
   }
 
   void clear() {
-    heap_ = {};
+    heap_.clear();
+    heap_.shrink_to_fit();
   }
 
  private:
@@ -62,7 +65,7 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<Entry> heap_;
   std::uint64_t next_sequence_ = 0;
 };
 

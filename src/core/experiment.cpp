@@ -10,6 +10,7 @@
 
 #include "slpdas/attacker/runtime.hpp"
 #include "slpdas/core/thread_pool.hpp"
+#include "slpdas/mac/schedule_io.hpp"
 #include "slpdas/phantom/phantom_routing.hpp"
 #include "slpdas/rng.hpp"
 #include "slpdas/verify/das_checker.hpp"
@@ -165,6 +166,11 @@ RunResult run_single(const ExperimentConfig& config, std::uint64_t seed) {
   if (!is_phantom) {
     const mac::Schedule schedule = das::extract_schedule(simulator);
     result.schedule_complete = schedule.complete();
+    if (result.schedule_complete) {
+      const mac::ScheduleStats stats = mac::compute_stats(schedule);
+      result.schedule_slot_span = stats.span;
+      result.schedule_density = stats.density;
+    }
     if (config.check_schedules) {
       result.weak_das_ok =
           verify::check_weak_das(graph, schedule, topology.sink).ok();
@@ -247,6 +253,10 @@ ExperimentResult aggregate_runs(const std::vector<RunResult>& runs,
     aggregate.control_messages_per_node.add(run.control_messages_per_node);
     aggregate.normal_messages_per_node.add(run.normal_messages_per_node);
     aggregate.attacker_moves.add(run.attacker_moves);
+    if (run.schedule_complete) {
+      aggregate.slot_band_span.add(run.schedule_slot_span);
+      aggregate.schedule_density.add(run.schedule_density);
+    }
     aggregate.schedule_incomplete_runs += run.schedule_complete ? 0 : 1;
     if (check_schedules) {
       aggregate.weak_das_failures += run.weak_das_ok ? 0 : 1;

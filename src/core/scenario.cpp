@@ -1,0 +1,83 @@
+#include "slpdas/core/scenario.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "scenarios/common.hpp"
+
+namespace slpdas::core {
+
+int resolved_runs(const ScenarioOptions& options, int scenario_default) {
+  if (options.runs > 0) {
+    return options.runs;
+  }
+  return options.smoke ? 1 : scenario_default;
+}
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+  if (scenario.name.empty()) {
+    throw std::invalid_argument("scenario registry: empty name");
+  }
+  if (!scenario.make_cells || !scenario.report) {
+    throw std::invalid_argument("scenario registry: scenario '" +
+                                scenario.name +
+                                "' is missing make_cells or report");
+  }
+  if (find(scenario.name) != nullptr) {
+    throw std::invalid_argument("scenario registry: duplicate name '" +
+                                scenario.name + "'");
+  }
+  scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const {
+  for (const Scenario& scenario : scenarios_) {
+    if (scenario.name == name) {
+      return &scenario;
+    }
+  }
+  return nullptr;
+}
+
+void register_builtin_scenarios(ScenarioRegistry& registry) {
+  if (registry.find("fig5a") != nullptr) {
+    return;  // already registered (idempotent for tests and the CLI)
+  }
+  scenarios::register_fig5(registry);
+  scenarios::register_comparison(registry);
+  scenarios::register_ablations(registry);
+  scenarios::register_tables(registry);
+  scenarios::register_perf(registry);
+}
+
+SweepJson run_scenario(const Scenario& scenario,
+                       const ScenarioOptions& options,
+                       const ScenarioExecution& execution, ThreadPool& pool) {
+  const std::vector<SweepCell> cells = scenario.make_cells(options);
+  SweepOptions sweep_options;
+  sweep_options.base_seed = scenario.resolved_seed(options);
+  sweep_options.progress = execution.progress;
+  sweep_options.shard_index = execution.shard_index;
+  sweep_options.shard_count = execution.shard_count;
+  sweep_options.deterministic_timing = execution.deterministic_timing;
+  const SweepResult sweep = run_sweep(cells, sweep_options, pool);
+  return to_sweep_json(sweep, scenario.name);
+}
+
+const SweepJsonCell& require_cell(const SweepJson& document,
+                                  const std::string& label) {
+  const SweepJsonCell* cell = document.find_cell(label);
+  if (cell == nullptr) {
+    throw std::runtime_error("sweep document '" + document.name +
+                             "' is missing cell '" + label +
+                             "' (unmerged shard?)");
+  }
+  return *cell;
+}
+
+}  // namespace slpdas::core

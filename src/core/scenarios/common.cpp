@@ -1,0 +1,41 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace slpdas::core::scenarios {
+
+SweepGrid::AxisValue side_axis_value(int side) {
+  return {std::to_string(side), [side](ExperimentConfig& config) {
+            config.topology = wsn::make_grid(side);
+          }};
+}
+
+std::vector<SweepGrid::AxisValue> protocol_pair_axis() {
+  return {{to_string(ProtocolKind::kProtectionlessDas),
+           [](ExperimentConfig& config) {
+             config.protocol = ProtocolKind::kProtectionlessDas;
+           }},
+          {to_string(ProtocolKind::kSlpDas), [](ExperimentConfig& config) {
+             config.protocol = ProtocolKind::kSlpDas;
+           }}};
+}
+
+double reduction(double base_ratio, double slp_ratio) {
+  return base_ratio > 0.0 ? 1.0 - slp_ratio / base_ratio : 0.0;
+}
+
+std::vector<std::string> axis_values(const SweepJson& document,
+                                     const std::string& axis) {
+  std::vector<std::string> values;
+  for (const SweepJsonCell& cell : document.cells) {
+    const std::string* value = cell.coordinate(axis);
+    if (value != nullptr &&
+        std::find(values.begin(), values.end(), *value) == values.end()) {
+      values.push_back(*value);
+    }
+  }
+  return values;
+}
+
+}  // namespace slpdas::core::scenarios

@@ -1,0 +1,43 @@
+// Internal helpers shared by the built-in scenario definitions. Not
+// installed; scenario registrations are reached through
+// core::register_builtin_scenarios().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "slpdas/core/scenario.hpp"
+#include "slpdas/wsn/topology.hpp"
+
+namespace slpdas::core::scenarios {
+
+/// Search distances the fig5 scenarios run at (paper Table I's SD row).
+/// table1 checks its SD row against these, so a drifting fig5 default
+/// fails loudly there instead of silently changing the published figure.
+inline constexpr int kFig5aSearchDistance = 3;
+inline constexpr int kFig5bSearchDistance = 5;
+
+void register_fig5(ScenarioRegistry& registry);
+void register_comparison(ScenarioRegistry& registry);
+void register_ablations(ScenarioRegistry& registry);
+void register_tables(ScenarioRegistry& registry);
+void register_perf(ScenarioRegistry& registry);
+
+/// A "side" axis value: label fragment is the decimal side, the mutator
+/// installs the matching square grid.
+[[nodiscard]] SweepGrid::AxisValue side_axis_value(int side);
+
+/// The protectionless-vs-SLP protocol pair. Added with `seeded = false`
+/// wherever both protocols should face identical per-run seed streams
+/// (common random numbers), which keeps "reduction" columns low-variance.
+[[nodiscard]] std::vector<SweepGrid::AxisValue> protocol_pair_axis();
+
+/// 1 - slp/base when base > 0, else 0 — the paper's reduction factor.
+[[nodiscard]] double reduction(double base_ratio, double slp_ratio);
+
+/// Distinct values of `axis` across the document's cells, in first-seen
+/// (i.e. grid) order.
+[[nodiscard]] std::vector<std::string> axis_values(const SweepJson& document,
+                                                   const std::string& axis);
+
+}  // namespace slpdas::core::scenarios

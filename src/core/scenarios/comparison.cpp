@@ -1,0 +1,108 @@
+// Scenario `cmp_phantom`: MAC-level SLP (this paper) vs routing-level SLP
+// (phantom routing, the paper's reference [4]).
+//
+// The paper's introduction motivates MAC-level SLP with the claim that
+// routing-level techniques carry "typically high message overhead". This
+// scenario sweeps protectionless DAS, SLP DAS and phantom routing (two
+// walk lengths) on one grid against the same (1,0,1,sink)-attacker and
+// reports capture ratio, data traffic per node per period, delivery and
+// end-to-end latency.
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "slpdas/metrics/table.hpp"
+
+namespace slpdas::core::scenarios {
+
+namespace {
+
+// One row per table entry: axis value, display label and config edits
+// live together so reordering rows cannot desynchronise them.
+struct ProtocolRow {
+  const char* value;
+  const char* display;
+  ProtocolKind protocol;
+  int walk_length;
+};
+
+const ProtocolRow kRows[] = {
+    {"protectionless-das", "protectionless DAS",
+     ProtocolKind::kProtectionlessDas, 0},
+    {"slp-das", "SLP DAS (SD=3)", ProtocolKind::kSlpDas, 0},
+    {"flooding", "plain flooding (phantom h=0)", ProtocolKind::kPhantomRouting,
+     0},
+    {"phantom-h5", "phantom routing (h=5)", ProtocolKind::kPhantomRouting, 5},
+    {"phantom-h10", "phantom routing (h=10)", ProtocolKind::kPhantomRouting,
+     10},
+};
+
+std::vector<SweepCell> make_cells(const ScenarioOptions& options) {
+  ExperimentConfig base;
+  base.radio = RadioKind::kCasinoLab;
+  base.runs = resolved_runs(options, 150);
+  base.check_schedules = false;
+
+  std::vector<SweepGrid::AxisValue> protocol_values;
+  for (const ProtocolRow& row : kRows) {
+    protocol_values.push_back({row.value, [row](ExperimentConfig& config) {
+                                 config.protocol = row.protocol;
+                                 config.phantom_walk_length = row.walk_length;
+                               }});
+  }
+  SweepGrid grid(base);
+  grid.axis("side", {side_axis_value(options.smoke ? 7 : 11)});
+  // Unseeded: every protocol faces identical per-run seed streams (common
+  // random numbers), so the rows are directly comparable.
+  grid.axis("protocol", std::move(protocol_values), /*seeded=*/false);
+  return grid.expand();
+}
+
+int report(std::ostream& out, const SweepJson& document,
+           const ScenarioOptions&) {
+  using metrics::Table;
+  const std::vector<std::string> sides = axis_values(document, "side");
+  const std::string side = sides.empty() ? "?" : sides.front();
+  const int runs = document.cells.empty() ? 0 : document.cells.front().runs;
+  out << "Comparison: MAC-level vs routing-level SLP on the " << side << "x"
+      << side << " grid (" << runs << " runs per row)\n\n";
+  Table table({"protocol", "capture ratio", "data msgs/node", "delivery",
+               "latency"});
+  for (const ProtocolRow& row : kRows) {
+    const SweepJsonCell& cell = require_cell(
+        document, "side=" + side + "/protocol=" + std::string(row.value));
+    table.add_row({row.display, Table::percent_cell(cell.capture_ratio),
+                   Table::cell(cell.normal_messages_per_node.mean, 1),
+                   Table::percent_cell(cell.delivery_ratio.mean),
+                   Table::cell(cell.delivery_latency_s.mean, 2) + "s"});
+  }
+  table.print(out);
+  out << "\nReading: phantom's random walk improves on its own baseline "
+         "(plain flooding, whose per-datum transmissions reveal provenance "
+         "and are traced almost surely), and longer walks help more. But "
+         "ANY causal flood leaks direction each period, so both phantom "
+         "rows are captured far more often than either TDMA protocol: the "
+         "DAS slot structure decouples transmission times from data "
+         "provenance entirely. That decoupling for free is the paper's "
+         "core argument for MAC-level SLP; the decoy (SLP DAS row) then "
+         "also bends the one remaining observable gradient away from the "
+         "source.\n";
+  return 0;
+}
+
+}  // namespace
+
+void register_comparison(ScenarioRegistry& registry) {
+  Scenario scenario;
+  scenario.name = "cmp_phantom";
+  scenario.reference = "Section I / reference [4]";
+  scenario.summary = "MAC-level vs routing-level SLP (phantom routing)";
+  scenario.default_runs = 150;
+  scenario.default_seed = 31;
+  scenario.make_cells = make_cells;
+  scenario.report = report;
+  registry.add(std::move(scenario));
+}
+
+}  // namespace slpdas::core::scenarios

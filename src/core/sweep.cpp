@@ -1,7 +1,9 @@
 #include "slpdas/core/sweep.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <charconv>
 #include <chrono>
 #include <cmath>
 #include <cstddef>
@@ -77,14 +79,46 @@ std::vector<SweepCell> SweepGrid::expand() const {
   return cells;
 }
 
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv1a(std::uint64_t hash, std::string_view text) {
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+  // Terminator so ("ab","c") and ("a","bc") hash differently when folded
+  // field by field.
+  hash ^= 0xff;
+  hash *= kFnvPrime;
+  return hash;
+}
+
+/// Fingerprint of the full grid: every cell's identity and run count, in
+/// order. Shards of one sweep agree on it; different grids (a changed
+/// axis value, run count or cell order) virtually never do.
+std::uint64_t hash_grid(const std::vector<SweepCell>& cells) {
+  std::uint64_t hash = kFnvOffset;
+  for (const SweepCell& cell : cells) {
+    hash = fnv1a(hash, cell.label);
+    hash = fnv1a(hash, cell.seed_label);
+    hash = fnv1a(hash, std::to_string(cell.config.runs));
+  }
+  return hash;
+}
+
+}  // namespace
+
 std::uint64_t derive_cell_seed(std::uint64_t base_seed,
                                std::string_view label) {
   // FNV-1a over the label keeps the seed a pure function of the cell's
   // identity, not its position in the grid.
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  std::uint64_t hash = kFnvOffset;
   for (const char c : label) {
     hash ^= static_cast<unsigned char>(c);
-    hash *= 0x100000001b3ULL;
+    hash *= kFnvPrime;
   }
   return derive_seed(base_seed, hash);
 }
@@ -122,43 +156,74 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
                       const SweepOptions& options, ThreadPool& pool) {
   const Clock::time_point sweep_start = Clock::now();
 
-  SweepResult sweep;
-  sweep.threads = pool.thread_count();
-  sweep.cells.resize(cells.size());
-
-  std::vector<CellProgress> progress(cells.size());
-  std::set<std::string_view> labels;
-  for (std::size_t c = 0; c < cells.size(); ++c) {
-    if (cells[c].config.runs < 1) {
-      throw std::invalid_argument("run_sweep: cell '" + cells[c].label +
-                                  "' has runs < 1");
-    }
-    if (!labels.insert(cells[c].label).second) {
-      throw std::invalid_argument("run_sweep: duplicate cell label '" +
-                                  cells[c].label + "'");
-    }
-    progress[c].runs.resize(static_cast<std::size_t>(cells[c].config.runs));
-    progress[c].remaining.store(cells[c].config.runs);
+  if (options.shard_count < 1 || options.shard_index < 0 ||
+      options.shard_index >= options.shard_count) {
+    throw std::invalid_argument("run_sweep: invalid shard " +
+                                std::to_string(options.shard_index) + "/" +
+                                std::to_string(options.shard_count));
   }
 
-  std::mutex mutex;  // guards worker_ids, finished count, progress stream
+  // Validate the FULL grid — even cells other shards will run — so every
+  // shard agrees on what the grid is before partitioning it.
+  std::set<std::string_view> labels;
+  for (const SweepCell& cell : cells) {
+    if (cell.config.runs < 1) {
+      throw std::invalid_argument("run_sweep: cell '" + cell.label +
+                                  "' has runs < 1");
+    }
+    if (!labels.insert(cell.label).second) {
+      throw std::invalid_argument("run_sweep: duplicate cell label '" +
+                                  cell.label + "'");
+    }
+  }
+
+  // Deterministic round-robin partition by full-grid cell index.
+  std::vector<std::size_t> mine;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c % static_cast<std::size_t>(options.shard_count) ==
+        static_cast<std::size_t>(options.shard_index)) {
+      mine.push_back(c);
+    }
+  }
+
+  SweepResult sweep;
+  sweep.base_seed = options.base_seed;
+  sweep.grid_hash = hash_grid(cells);
+  sweep.shard_index = options.shard_index;
+  sweep.shard_count = options.shard_count;
+  sweep.cells_total = cells.size();
+  sweep.threads = pool.thread_count();
+  sweep.cells.resize(mine.size());
+
+  std::vector<CellProgress> progress(mine.size());
+  std::mutex mutex;  // guards worker_ids, finished count, progress buffer
   std::set<std::thread::id> worker_ids;
   std::size_t cells_finished = 0;
   std::exception_ptr first_error;
+  // Progress lines accumulate here and flush as ONE stream write at most
+  // once per progress_interval_ms (re-checked at every cell completion
+  // and once after the pool drains), so lines are never interleaved
+  // mid-way and a fast sweep cannot flood stderr.
+  std::string progress_pending;
+  Clock::time_point progress_last_flush = sweep_start;
 
-  for (std::size_t c = 0; c < cells.size(); ++c) {
-    const SweepCell& cell = cells[c];
+  for (std::size_t m = 0; m < mine.size(); ++m) {
+    const SweepCell& cell = cells[mine[m]];
     const std::uint64_t cell_seed = derive_cell_seed(
         options.base_seed,
         cell.seed_label.empty() ? cell.label : cell.seed_label);
-    sweep.cells[c].label = cell.label;
-    sweep.cells[c].coordinates = cell.coordinates;
-    sweep.cells[c].cell_seed = cell_seed;
-    sweep.cells[c].runs = cell.config.runs;
+    sweep.cells[m].index = mine[m];
+    sweep.cells[m].label = cell.label;
+    sweep.cells[m].coordinates = cell.coordinates;
+    sweep.cells[m].cell_seed = cell_seed;
+    sweep.cells[m].runs = cell.config.runs;
+
+    progress[m].runs.resize(static_cast<std::size_t>(cell.config.runs));
+    progress[m].remaining.store(cell.config.runs);
 
     for (int run = 0; run < cell.config.runs; ++run) {
-      pool.submit([&, c, run, cell_seed] {
-        CellProgress& state = progress[c];
+      pool.submit([&, m, run, cell_seed, &cell = cells[mine[m]]] {
+        CellProgress& state = progress[m];
         if (!state.started_set.exchange(true)) {
           state.started = Clock::now();
         }
@@ -166,7 +231,7 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
           const std::uint64_t seed =
               derive_seed(cell_seed, static_cast<std::uint64_t>(run));
           state.runs[static_cast<std::size_t>(run)] =
-              run_single(cells[c].config, seed);
+              run_single(cell.config, seed);
         } catch (...) {
           const std::scoped_lock lock(mutex);
           if (!first_error) {
@@ -181,24 +246,44 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
           // Last run of this cell: aggregate in run-index order so the
           // result is independent of scheduling, then report.
           state.wall_seconds = seconds_between(state.started, Clock::now());
-          SweepCellResult& out = sweep.cells[c];
-          out.result = aggregate_runs(state.runs, cells[c].config.check_schedules);
-          out.wall_seconds = state.wall_seconds;
+          SweepCellResult& out = sweep.cells[m];
+          out.result = aggregate_runs(state.runs, cell.config.check_schedules);
+          out.wall_seconds =
+              options.deterministic_timing ? 0.0 : state.wall_seconds;
           const std::scoped_lock lock(mutex);
           ++cells_finished;
           if (options.progress != nullptr) {
-            std::ostream& log = *options.progress;
-            const auto saved_flags = log.flags();
-            const auto saved_precision = log.precision();
-            log << '[' << cells_finished << '/' << cells.size() << "] "
-                << cells[c].label << " capture="
-                << out.result.capture.successes() << '/'
-                << out.result.capture.trials() << " ("
-                << std::fixed << std::setprecision(1) << state.wall_seconds
-                << "s)\n";
-            log.flags(saved_flags);
-            log.precision(saved_precision);
-            log.flush();
+            // Compose the whole line off-stream (std::to_chars for the
+            // float: locale-independent, and the shared stream's flags
+            // stay untouched).
+            char wall[32];
+            const auto [end, ec] =
+                std::to_chars(wall, wall + sizeof(wall) - 1,
+                              state.wall_seconds, std::chars_format::fixed, 1);
+            *(ec == std::errc() ? end : wall) = '\0';
+            progress_pending += '[';
+            progress_pending += std::to_string(cells_finished);
+            progress_pending += '/';
+            progress_pending += std::to_string(mine.size());
+            progress_pending += "] ";
+            progress_pending += cell.label;
+            progress_pending += " capture=";
+            progress_pending +=
+                std::to_string(out.result.capture.successes());
+            progress_pending += '/';
+            progress_pending += std::to_string(out.result.capture.trials());
+            progress_pending += " (";
+            progress_pending += wall;
+            progress_pending += "s)\n";
+            const Clock::time_point now = Clock::now();
+            const bool last = cells_finished == mine.size();
+            if (last || seconds_between(progress_last_flush, now) * 1000.0 >=
+                            static_cast<double>(options.progress_interval_ms)) {
+              *options.progress << progress_pending;
+              options.progress->flush();
+              progress_pending.clear();
+              progress_last_flush = now;
+            }
           }
         }
       });
@@ -206,11 +291,20 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
   }
 
   pool.wait_idle();
+  // Flush buffered progress BEFORE rethrowing: the cells that completed
+  // ahead of a failure are exactly the diagnostic context the user needs.
+  if (!progress_pending.empty() && options.progress != nullptr) {
+    *options.progress << progress_pending;
+    options.progress->flush();
+  }
   if (first_error) {
     std::rethrow_exception(first_error);
   }
-  sweep.distinct_worker_threads = static_cast<int>(worker_ids.size());
-  sweep.wall_seconds = seconds_between(sweep_start, Clock::now());
+  sweep.distinct_worker_threads =
+      options.deterministic_timing ? 0 : static_cast<int>(worker_ids.size());
+  sweep.wall_seconds = options.deterministic_timing
+                           ? 0.0
+                           : seconds_between(sweep_start, Clock::now());
   return sweep;
 }
 
@@ -219,6 +313,9 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
 // ---------------------------------------------------------------------------
 
 namespace {
+
+constexpr std::string_view kSchemaV1 = "slpdas.sweep.v1";
+constexpr std::string_view kSchemaV2 = "slpdas.sweep.v2";
 
 /// Doubles print with max_digits10 so the round-trip is exact; NaN and
 /// infinities (empty-stat min/max) serialise as null.
@@ -259,37 +356,132 @@ void write_string(std::ostream& out, std::string_view text) {
   out << '"';
 }
 
-void write_stats(std::ostream& out, const metrics::RunningStats& stats) {
-  out << "{\"count\": " << stats.count() << ", \"mean\": ";
-  write_double(out, stats.mean());
+void write_stats(std::ostream& out, const SweepJsonStats& stats) {
+  out << "{\"count\": " << stats.count << ", \"mean\": ";
+  write_double(out, stats.mean);
   out << ", \"stddev\": ";
-  write_double(out, stats.stddev());
+  write_double(out, stats.stddev);
   out << ", \"min\": ";
-  write_double(out, stats.min());
+  write_double(out, stats.min);
   out << ", \"max\": ";
-  write_double(out, stats.max());
+  write_double(out, stats.max);
   out << '}';
 }
 
+SweepJsonStats to_json_stats(const metrics::RunningStats& stats) {
+  SweepJsonStats out;
+  out.count = stats.count();
+  out.mean = stats.mean();
+  out.stddev = stats.stddev();
+  out.min = stats.min();
+  out.max = stats.max();
+  return out;
+}
+
+/// The per-cell stats blocks, in serialisation order.
+using StatsField = std::pair<const char*, SweepJsonStats SweepJsonCell::*>;
+constexpr StatsField kStatsFields[] = {
+    {"capture_time_s", &SweepJsonCell::capture_time_s},
+    {"delivery_ratio", &SweepJsonCell::delivery_ratio},
+    {"delivery_latency_s", &SweepJsonCell::delivery_latency_s},
+    {"control_messages_per_node", &SweepJsonCell::control_messages_per_node},
+    {"normal_messages_per_node", &SweepJsonCell::normal_messages_per_node},
+    {"attacker_moves", &SweepJsonCell::attacker_moves},
+    {"slot_band_span", &SweepJsonCell::slot_band_span},
+    {"schedule_density", &SweepJsonCell::schedule_density},
+};
+
 }  // namespace
 
-void write_sweep_json(std::ostream& out, const SweepResult& result,
-                      std::string_view name) {
+const std::string* SweepJsonCell::coordinate(std::string_view name) const {
+  for (const auto& [axis, value] : coordinates) {
+    if (axis == name) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+const SweepJsonCell* SweepJson::find_cell(std::string_view label) const {
+  for (const SweepJsonCell& cell : cells) {
+    if (cell.label == label) {
+      return &cell;
+    }
+  }
+  return nullptr;
+}
+
+SweepJson to_sweep_json(const SweepResult& result, std::string_view name) {
+  SweepJson document;
+  document.schema = std::string(kSchemaV2);
+  document.name = std::string(name);
+  document.base_seed = result.base_seed;
+  document.grid_hash = result.grid_hash;
+  document.shard_index = result.shard_index;
+  document.shard_count = result.shard_count;
+  // Hand-rolled SweepResults (tests) may leave cells_total unset.
+  document.cells_total = result.cells_total != 0 || result.cells.empty()
+                             ? result.cells_total
+                             : result.cells.size();
+  document.threads = result.threads;
+  document.distinct_worker_threads = result.distinct_worker_threads;
+  document.wall_seconds = result.wall_seconds;
+  document.cells.reserve(result.cells.size());
+  for (const SweepCellResult& cell : result.cells) {
+    SweepJsonCell out;
+    out.index = cell.index;
+    out.label = cell.label;
+    out.coordinates = cell.coordinates;
+    out.cell_seed = cell.cell_seed;
+    out.runs = cell.runs;
+    const ExperimentResult& r = cell.result;
+    out.capture_trials = r.capture.trials();
+    out.capture_successes = r.capture.successes();
+    out.capture_ratio = r.capture.ratio();
+    const auto [low, high] = r.capture.wilson95();
+    out.capture_wilson95_low = low;
+    out.capture_wilson95_high = high;
+    out.capture_time_s = to_json_stats(r.capture_time_s);
+    out.delivery_ratio = to_json_stats(r.delivery_ratio);
+    out.delivery_latency_s = to_json_stats(r.delivery_latency_s);
+    out.control_messages_per_node = to_json_stats(r.control_messages_per_node);
+    out.normal_messages_per_node = to_json_stats(r.normal_messages_per_node);
+    out.attacker_moves = to_json_stats(r.attacker_moves);
+    out.slot_band_span = to_json_stats(r.slot_band_span);
+    out.schedule_density = to_json_stats(r.schedule_density);
+    out.schedule_incomplete_runs = r.schedule_incomplete_runs;
+    out.weak_das_failures = r.weak_das_failures;
+    out.strong_das_failures = r.strong_das_failures;
+    out.wall_seconds = cell.wall_seconds;
+    document.cells.push_back(std::move(out));
+  }
+  return document;
+}
+
+void write_sweep_json(std::ostream& out, const SweepJson& document) {
   // Restore the caller's formatting on exit; write_double/write_string
   // adjust precision, flags and fill along the way.
   const auto saved_flags = out.flags();
   const auto saved_precision = out.precision();
   const auto saved_fill = out.fill();
-  out << "{\n  \"schema\": \"slpdas.sweep.v1\",\n  \"name\": ";
-  write_string(out, name);
-  out << ",\n  \"threads\": " << result.threads
-      << ",\n  \"distinct_worker_threads\": " << result.distinct_worker_threads
-      << ",\n  \"wall_seconds\": ";
-  write_double(out, result.wall_seconds);
+  out << "{\n  \"schema\": ";
+  write_string(out, kSchemaV2);
+  out << ",\n  \"name\": ";
+  write_string(out, document.name);
+  out << ",\n  \"base_seed\": " << document.base_seed
+      << ",\n  \"grid_hash\": " << document.grid_hash
+      << ",\n  \"shard\": {\"index\": " << document.shard_index
+      << ", \"count\": " << document.shard_count
+      << ", \"cells_total\": " << document.cells_total << '}'
+      << ",\n  \"threads\": " << document.threads
+      << ",\n  \"distinct_worker_threads\": "
+      << document.distinct_worker_threads << ",\n  \"wall_seconds\": ";
+  write_double(out, document.wall_seconds);
   out << ",\n  \"cells\": [";
-  for (std::size_t c = 0; c < result.cells.size(); ++c) {
-    const SweepCellResult& cell = result.cells[c];
-    out << (c == 0 ? "\n" : ",\n") << "    {\n      \"label\": ";
+  for (std::size_t c = 0; c < document.cells.size(); ++c) {
+    const SweepJsonCell& cell = document.cells[c];
+    out << (c == 0 ? "\n" : ",\n")
+        << "    {\n      \"index\": " << cell.index << ",\n      \"label\": ";
     write_string(out, cell.label);
     out << ",\n      \"coordinates\": {";
     for (std::size_t i = 0; i < cell.coordinates.size(); ++i) {
@@ -300,44 +492,39 @@ void write_sweep_json(std::ostream& out, const SweepResult& result,
     }
     out << "},\n      \"cell_seed\": " << cell.cell_seed
         << ",\n      \"runs\": " << cell.runs;
-    const ExperimentResult& r = cell.result;
-    const auto [low, high] = r.capture.wilson95();
-    out << ",\n      \"capture\": {\"trials\": " << r.capture.trials()
-        << ", \"successes\": " << r.capture.successes() << ", \"ratio\": ";
-    write_double(out, r.capture.ratio());
+    out << ",\n      \"capture\": {\"trials\": " << cell.capture_trials
+        << ", \"successes\": " << cell.capture_successes << ", \"ratio\": ";
+    write_double(out, cell.capture_ratio);
     out << ", \"wilson95\": [";
-    write_double(out, low);
+    write_double(out, cell.capture_wilson95_low);
     out << ", ";
-    write_double(out, high);
+    write_double(out, cell.capture_wilson95_high);
     out << "]}";
-    const std::pair<const char*, const metrics::RunningStats*> stats[] = {
-        {"capture_time_s", &r.capture_time_s},
-        {"delivery_ratio", &r.delivery_ratio},
-        {"delivery_latency_s", &r.delivery_latency_s},
-        {"control_messages_per_node", &r.control_messages_per_node},
-        {"normal_messages_per_node", &r.normal_messages_per_node},
-        {"attacker_moves", &r.attacker_moves},
-    };
-    for (const auto& [key, value] : stats) {
+    for (const auto& [key, member] : kStatsFields) {
       out << ",\n      \"" << key << "\": ";
-      write_stats(out, *value);
+      write_stats(out, cell.*member);
     }
     out << ",\n      \"schedule_incomplete_runs\": "
-        << r.schedule_incomplete_runs
-        << ",\n      \"weak_das_failures\": " << r.weak_das_failures
-        << ",\n      \"strong_das_failures\": " << r.strong_das_failures
+        << cell.schedule_incomplete_runs
+        << ",\n      \"weak_das_failures\": " << cell.weak_das_failures
+        << ",\n      \"strong_das_failures\": " << cell.strong_das_failures
         << ",\n      \"wall_seconds\": ";
     write_double(out, cell.wall_seconds);
     out << "\n    }";
   }
-  out << (result.cells.empty() ? "]" : "\n  ]") << "\n}\n";
+  out << (document.cells.empty() ? "]" : "\n  ]") << "\n}\n";
   out.flags(saved_flags);
   out.precision(saved_precision);
   out.fill(saved_fill);
 }
 
+void write_sweep_json(std::ostream& out, const SweepResult& result,
+                      std::string_view name) {
+  write_sweep_json(out, to_sweep_json(result, name));
+}
+
 // ---------------------------------------------------------------------------
-// JSON reading (minimal recursive-descent parser, enough for v1 documents)
+// JSON reading (minimal recursive-descent parser, enough for v1/v2)
 // ---------------------------------------------------------------------------
 
 namespace {
@@ -619,7 +806,7 @@ class JsonParser {
             throw std::runtime_error("sweep json: malformed \\u escape");
           }
           pos_ += 4;
-          // v1 documents only escape control characters, all < 0x80.
+          // Documents only escape control characters, all < 0x80.
           out += static_cast<char>(code);
           break;
         }
@@ -666,16 +853,32 @@ SweepJson read_sweep_json(std::istream& in) {
 
   SweepJson document;
   document.schema = root.at("schema").as_string();
-  if (document.schema != "slpdas.sweep.v1") {
+  const bool v2 = document.schema == kSchemaV2;
+  if (!v2 && document.schema != kSchemaV1) {
     throw std::runtime_error("sweep json: unknown schema '" + document.schema +
                              "'");
   }
   document.name = root.at("name").as_string();
+  if (v2) {
+    document.base_seed = root.at("base_seed").as_u64();
+    document.grid_hash = root.at("grid_hash").as_u64();
+    const JsonParser::Value& shard = root.at("shard");
+    document.shard_index = static_cast<int>(shard.at("index").as_number());
+    document.shard_count = static_cast<int>(shard.at("count").as_number());
+    document.cells_total = shard.at("cells_total").as_u64();
+  }
   document.threads = static_cast<int>(root.at("threads").as_number());
+  if (const JsonParser::Value* distinct =
+          root.find("distinct_worker_threads")) {
+    document.distinct_worker_threads =
+        static_cast<int>(distinct->as_number());
+  }
   document.wall_seconds = root.at("wall_seconds").as_number();
 
   for (const JsonParser::Value& cell_value : root.at("cells").as_array()) {
     SweepJsonCell cell;
+    cell.index = v2 ? cell_value.at("index").as_u64()
+                    : static_cast<std::uint64_t>(document.cells.size());
     cell.label = cell_value.at("label").as_string();
     for (const auto& [key, value] : cell_value.at("coordinates").as_object()) {
       cell.coordinates.emplace_back(key, value.as_string());
@@ -700,6 +903,10 @@ SweepJson read_sweep_json(std::istream& in) {
     cell.normal_messages_per_node =
         parse_stats(cell_value.at("normal_messages_per_node"));
     cell.attacker_moves = parse_stats(cell_value.at("attacker_moves"));
+    if (v2) {
+      cell.slot_band_span = parse_stats(cell_value.at("slot_band_span"));
+      cell.schedule_density = parse_stats(cell_value.at("schedule_density"));
+    }
     cell.schedule_incomplete_runs =
         static_cast<int>(cell_value.at("schedule_incomplete_runs").as_number());
     cell.weak_das_failures =
@@ -709,7 +916,96 @@ SweepJson read_sweep_json(std::istream& in) {
     cell.wall_seconds = cell_value.at("wall_seconds").as_number();
     document.cells.push_back(std::move(cell));
   }
+  if (!v2) {
+    document.cells_total = document.cells.size();
+  }
   return document;
+}
+
+// ---------------------------------------------------------------------------
+// Shard merging
+// ---------------------------------------------------------------------------
+
+SweepJson merge_sweep_shards(std::vector<SweepJson> shards) {
+  if (shards.empty()) {
+    throw std::runtime_error("merge: no shard documents");
+  }
+  const int count = static_cast<int>(shards.size());
+
+  SweepJson merged;
+  merged.schema = std::string(kSchemaV2);
+  merged.name = shards.front().name;
+  merged.base_seed = shards.front().base_seed;
+  merged.grid_hash = shards.front().grid_hash;
+  merged.cells_total = shards.front().cells_total;
+  merged.shard_index = 0;
+  merged.shard_count = 1;
+
+  std::set<int> seen_indices;
+  for (SweepJson& shard : shards) {
+    if (shard.name != merged.name) {
+      throw std::runtime_error("merge: shard names differ ('" + merged.name +
+                               "' vs '" + shard.name + "')");
+    }
+    if (shard.base_seed != merged.base_seed) {
+      // Mixed seeds would silently break the common-random-numbers
+      // pairing between cells that landed on different shards.
+      throw std::runtime_error(
+          "merge: shard base seeds differ (" +
+          std::to_string(merged.base_seed) + " vs " +
+          std::to_string(shard.base_seed) + ")");
+    }
+    if (shard.grid_hash != merged.grid_hash) {
+      // Different full-grid fingerprints mean the shards were produced
+      // from different grids (e.g. one run used --sd 5 or another
+      // --runs value); interleaving them would fabricate an experiment
+      // nobody ran.
+      throw std::runtime_error(
+          "merge: shard grids differ (were the shards run with identical "
+          "scenario options?)");
+    }
+    if (shard.shard_count != count) {
+      throw std::runtime_error(
+          "merge: document expects " + std::to_string(shard.shard_count) +
+          " shard(s) but " + std::to_string(count) + " were given");
+    }
+    if (!seen_indices.insert(shard.shard_index).second) {
+      throw std::runtime_error("merge: duplicate shard index " +
+                               std::to_string(shard.shard_index));
+    }
+    if (shard.shard_index < 0 || shard.shard_index >= count) {
+      throw std::runtime_error("merge: shard index " +
+                               std::to_string(shard.shard_index) +
+                               " out of range");
+    }
+    if (shard.cells_total != merged.cells_total) {
+      throw std::runtime_error("merge: cells_total differs across shards");
+    }
+    merged.threads = std::max(merged.threads, shard.threads);
+    merged.distinct_worker_threads = std::max(merged.distinct_worker_threads,
+                                              shard.distinct_worker_threads);
+    merged.wall_seconds += shard.wall_seconds;
+    for (SweepJsonCell& cell : shard.cells) {
+      merged.cells.push_back(std::move(cell));
+    }
+  }
+
+  std::sort(merged.cells.begin(), merged.cells.end(),
+            [](const SweepJsonCell& a, const SweepJsonCell& b) {
+              return a.index < b.index;
+            });
+  if (merged.cells.size() != merged.cells_total) {
+    throw std::runtime_error(
+        "merge: shards carry " + std::to_string(merged.cells.size()) +
+        " cells, expected " + std::to_string(merged.cells_total));
+  }
+  for (std::size_t i = 0; i < merged.cells.size(); ++i) {
+    if (merged.cells[i].index != i) {
+      throw std::runtime_error("merge: cell index " + std::to_string(i) +
+                               " is missing or duplicated");
+    }
+  }
+  return merged;
 }
 
 }  // namespace slpdas::core

@@ -1,0 +1,177 @@
+// Scenario registry: registration semantics, and an end-to-end smoke of
+// every built-in scenario — each one expands a grid, runs through
+// core::Sweep, serialises schema-valid JSON, round-trips, and renders its
+// report without error.
+#include "slpdas/core/scenario.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace slpdas::core {
+namespace {
+
+const char* const kBuiltinNames[] = {
+    "fig5a",       "fig5b",          "cmp_phantom", "abl_noise",
+    "abl_attacker", "abl_schedulers", "abl_safety",  "table1",
+    "message_overhead", "perf_sim",   "perf_verify",
+};
+
+Scenario dummy_scenario(std::string name) {
+  Scenario scenario;
+  scenario.name = std::move(name);
+  scenario.make_cells = [](const ScenarioOptions&) {
+    return std::vector<SweepCell>{};
+  };
+  scenario.report = [](std::ostream&, const SweepJson&,
+                       const ScenarioOptions&) { return 0; };
+  return scenario;
+}
+
+TEST(ScenarioRegistryTest, RegistersAllElevenBuiltins) {
+  ScenarioRegistry registry;
+  register_builtin_scenarios(registry);
+  EXPECT_EQ(registry.scenarios().size(), std::size(kBuiltinNames));
+  for (const char* name : kBuiltinNames) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+  EXPECT_EQ(registry.find("no_such_scenario"), nullptr);
+}
+
+TEST(ScenarioRegistryTest, BuiltinRegistrationIsIdempotent) {
+  ScenarioRegistry registry;
+  register_builtin_scenarios(registry);
+  const std::size_t count = registry.scenarios().size();
+  register_builtin_scenarios(registry);
+  EXPECT_EQ(registry.scenarios().size(), count);
+}
+
+TEST(ScenarioRegistryTest, RejectsBadRegistrations) {
+  ScenarioRegistry registry;
+  registry.add(dummy_scenario("ok"));
+  EXPECT_THROW(registry.add(dummy_scenario("ok")), std::invalid_argument);
+  EXPECT_THROW(registry.add(dummy_scenario("")), std::invalid_argument);
+  Scenario no_cells = dummy_scenario("no_cells");
+  no_cells.make_cells = nullptr;
+  EXPECT_THROW(registry.add(std::move(no_cells)), std::invalid_argument);
+  Scenario no_report = dummy_scenario("no_report");
+  no_report.report = nullptr;
+  EXPECT_THROW(registry.add(std::move(no_report)), std::invalid_argument);
+}
+
+TEST(ScenarioOptionsTest, RunsResolveExplicitOverSmokeOverDefault) {
+  ScenarioOptions options;
+  EXPECT_EQ(resolved_runs(options, 100), 100);
+  options.smoke = true;
+  EXPECT_EQ(resolved_runs(options, 100), 1);
+  options.runs = 7;
+  EXPECT_EQ(resolved_runs(options, 100), 7);
+
+  Scenario scenario = dummy_scenario("seeded");
+  scenario.default_seed = 2017;
+  EXPECT_EQ(scenario.resolved_seed(ScenarioOptions{}), 2017u);
+  ScenarioOptions seeded;
+  seeded.base_seed = 5;
+  EXPECT_EQ(scenario.resolved_seed(seeded), 5u);
+}
+
+TEST(ScenarioSmokeTest, EveryBuiltinRunsEndToEndAndEmitsValidJson) {
+  ScenarioRegistry registry;
+  register_builtin_scenarios(registry);
+
+  ScenarioOptions options;
+  options.smoke = true;
+  ScenarioExecution execution;
+  execution.deterministic_timing = true;
+  ThreadPool pool(2);
+
+  for (const Scenario& scenario : registry.scenarios()) {
+    SCOPED_TRACE(scenario.name);
+
+    // Smoke grids are non-empty, single-run, and label-unique.
+    const std::vector<SweepCell> cells = scenario.make_cells(options);
+    ASSERT_FALSE(cells.empty());
+    std::set<std::string> labels;
+    for (const SweepCell& cell : cells) {
+      EXPECT_EQ(cell.config.runs, 1);
+      EXPECT_TRUE(labels.insert(cell.label).second) << cell.label;
+    }
+
+    const SweepJson document =
+        run_scenario(scenario, options, execution, pool);
+    EXPECT_EQ(document.name, scenario.name);
+    EXPECT_EQ(document.schema, "slpdas.sweep.v2");
+    EXPECT_EQ(document.cells.size(), cells.size());
+    EXPECT_EQ(document.cells_total, cells.size());
+
+    // The document round-trips through the serialised schema...
+    std::stringstream stream;
+    write_sweep_json(stream, document);
+    const SweepJson reparsed = read_sweep_json(stream);
+    EXPECT_EQ(reparsed.name, scenario.name);
+    ASSERT_EQ(reparsed.cells.size(), document.cells.size());
+    for (std::size_t i = 0; i < reparsed.cells.size(); ++i) {
+      EXPECT_EQ(reparsed.cells[i].label, document.cells[i].label);
+      EXPECT_EQ(reparsed.cells[i].cell_seed, document.cells[i].cell_seed);
+    }
+    // ...and a rewrite of the reparse is byte-stable (merge depends on it).
+    std::ostringstream rewritten;
+    write_sweep_json(rewritten, reparsed);
+    EXPECT_EQ(rewritten.str(), stream.str());
+
+    // The report renders from the reparsed document and succeeds.
+    std::ostringstream report;
+    EXPECT_EQ(scenario.report(report, reparsed, options), 0);
+    EXPECT_FALSE(report.str().empty());
+  }
+}
+
+TEST(ScenarioSmokeTest, ScenariosShardAndMergeLikeAnySweep) {
+  // One representative scenario through the multi-process path: two
+  // deterministic shards merge into the unsharded document bit for bit.
+  ScenarioRegistry registry;
+  register_builtin_scenarios(registry);
+  const Scenario* scenario = registry.find("message_overhead");
+  ASSERT_NE(scenario, nullptr);
+
+  ScenarioOptions options;
+  options.smoke = true;
+  ThreadPool pool(2);
+
+  ScenarioExecution unsharded;
+  unsharded.deterministic_timing = true;
+  std::ostringstream full;
+  write_sweep_json(full, run_scenario(*scenario, options, unsharded, pool));
+
+  std::vector<SweepJson> shards;
+  for (int i = 0; i < 2; ++i) {
+    ScenarioExecution execution;
+    execution.deterministic_timing = true;
+    execution.shard_index = i;
+    execution.shard_count = 2;
+    shards.push_back(run_scenario(*scenario, options, execution, pool));
+  }
+  std::ostringstream merged;
+  write_sweep_json(merged, merge_sweep_shards(std::move(shards)));
+  EXPECT_EQ(merged.str(), full.str());
+}
+
+TEST(ScenarioReportTest, RequireCellNamesTheMissingLabel) {
+  SweepJson document;
+  document.name = "fig5a";
+  try {
+    (void)require_cell(document, "side=99/protocol=slp-das");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("side=99/protocol=slp-das"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace slpdas::core

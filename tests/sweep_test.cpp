@@ -219,9 +219,21 @@ TEST(SweepRunTest, ProgressReportsEveryCell) {
     EXPECT_NE(text.find(cell.label), std::string::npos) << text;
   }
   EXPECT_NE(text.find("[4/4]"), std::string::npos) << text;
+  // Output is line-buffered: whole lines only, each a complete record.
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  std::istringstream lines(text);
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.front(), '[') << line;
+    EXPECT_NE(line.find(" capture="), std::string::npos) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 4);
 }
 
-TEST(SweepJsonTest, RoundTripsThroughTheV1Schema) {
+TEST(SweepJsonTest, RoundTripsThroughTheV2Schema) {
   const auto cells = small_cells();
   SweepOptions options;
   options.threads = 2;
@@ -232,13 +244,18 @@ TEST(SweepJsonTest, RoundTripsThroughTheV1Schema) {
   write_sweep_json(stream, sweep, "sweep_test");
   const SweepJson parsed = read_sweep_json(stream);
 
-  EXPECT_EQ(parsed.schema, "slpdas.sweep.v1");
+  EXPECT_EQ(parsed.schema, "slpdas.sweep.v2");
   EXPECT_EQ(parsed.name, "sweep_test");
+  EXPECT_EQ(parsed.base_seed, 11u);
   EXPECT_EQ(parsed.threads, sweep.threads);
+  EXPECT_EQ(parsed.shard_index, 0);
+  EXPECT_EQ(parsed.shard_count, 1);
+  EXPECT_EQ(parsed.cells_total, cells.size());
   ASSERT_EQ(parsed.cells.size(), sweep.cells.size());
   for (std::size_t i = 0; i < parsed.cells.size(); ++i) {
     const SweepJsonCell& json_cell = parsed.cells[i];
     const SweepCellResult& cell = sweep.cells[i];
+    EXPECT_EQ(json_cell.index, i);
     EXPECT_EQ(json_cell.label, cell.label);
     EXPECT_EQ(json_cell.coordinates, cell.coordinates);
     EXPECT_EQ(json_cell.cell_seed, cell.cell_seed);
@@ -255,9 +272,49 @@ TEST(SweepJsonTest, RoundTripsThroughTheV1Schema) {
     EXPECT_EQ(json_cell.delivery_ratio.stddev,
               cell.result.delivery_ratio.stddev());
     EXPECT_EQ(json_cell.attacker_moves.mean, cell.result.attacker_moves.mean());
+    EXPECT_EQ(json_cell.slot_band_span.count,
+              cell.result.slot_band_span.count());
+    EXPECT_EQ(json_cell.slot_band_span.mean, cell.result.slot_band_span.mean());
+    EXPECT_EQ(json_cell.schedule_density.mean,
+              cell.result.schedule_density.mean());
     EXPECT_EQ(json_cell.schedule_incomplete_runs,
               cell.result.schedule_incomplete_runs);
   }
+}
+
+TEST(SweepJsonTest, ReadsLegacyV1Documents) {
+  // v1 documents carry no shard object, no per-cell index, and no
+  // slot-band stats; the reader defaults all of them.
+  const std::string v1 =
+      "{\"schema\": \"slpdas.sweep.v1\", \"name\": \"old\", \"threads\": 2, "
+      "\"wall_seconds\": 0, \"cells\": [{\"label\": \"side=5\", "
+      "\"coordinates\": {\"side\": \"5\"}, \"cell_seed\": 7, \"runs\": 1, "
+      "\"capture\": {\"trials\": 1, \"successes\": 0, \"ratio\": 0, "
+      "\"wilson95\": [0, 0.5]}, "
+      "\"capture_time_s\": {\"count\": 0, \"mean\": 0, \"stddev\": 0, "
+      "\"min\": null, \"max\": null}, "
+      "\"delivery_ratio\": {\"count\": 1, \"mean\": 1, \"stddev\": 0, "
+      "\"min\": 1, \"max\": 1}, "
+      "\"delivery_latency_s\": {\"count\": 1, \"mean\": 0, \"stddev\": 0, "
+      "\"min\": 0, \"max\": 0}, "
+      "\"control_messages_per_node\": {\"count\": 1, \"mean\": 0, "
+      "\"stddev\": 0, \"min\": 0, \"max\": 0}, "
+      "\"normal_messages_per_node\": {\"count\": 1, \"mean\": 0, "
+      "\"stddev\": 0, \"min\": 0, \"max\": 0}, "
+      "\"attacker_moves\": {\"count\": 1, \"mean\": 0, \"stddev\": 0, "
+      "\"min\": 0, \"max\": 0}, "
+      "\"schedule_incomplete_runs\": 0, \"weak_das_failures\": 0, "
+      "\"strong_das_failures\": 0, \"wall_seconds\": 0}]}";
+  std::stringstream stream(v1);
+  const SweepJson parsed = read_sweep_json(stream);
+  EXPECT_EQ(parsed.schema, "slpdas.sweep.v1");
+  EXPECT_EQ(parsed.base_seed, 0u);
+  EXPECT_EQ(parsed.shard_index, 0);
+  EXPECT_EQ(parsed.shard_count, 1);
+  EXPECT_EQ(parsed.cells_total, 1u);
+  ASSERT_EQ(parsed.cells.size(), 1u);
+  EXPECT_EQ(parsed.cells[0].index, 0u);
+  EXPECT_EQ(parsed.cells[0].slot_band_span.count, 0u);
 }
 
 TEST(SweepJsonTest, EmptyStatsSerialiseMinMaxAsNull) {
