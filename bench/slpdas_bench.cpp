@@ -46,7 +46,8 @@ struct CliOptions {
   int shard_index = 0;
   int shard_count = 1;
   std::string out_dir = ".";
-  std::string merge_out;  ///< merge: --out path ("" = stdout)
+  std::string merge_out;     ///< merge: --out path ("" = stdout)
+  std::string stream_path;   ///< run: --stream JSONL file ("" = off)
 };
 
 int usage(std::ostream& out, int code) {
@@ -65,6 +66,9 @@ int usage(std::ostream& out, int code) {
          "  --json           write BENCH_<name>.json (per scenario)\n"
          "  --out-dir DIR    directory for --json files (default .)\n"
          "  --shard I/N      run only this process's share of each grid\n"
+         "  --stream FILE    append one JSONL record per completed cell to\n"
+         "                   FILE (slpdas.cell.v1) and resume from it if it\n"
+         "                   already exists; one scenario per stream file\n"
          "  --deterministic  zero wall clocks so output is bit-reproducible\n";
   return code;
 }
@@ -125,6 +129,13 @@ int run_scenarios(const CliOptions& options) {
                  "as documents for 'slpdas_bench merge'\n";
     return 2;
   }
+  if (!options.stream_path.empty() && selected.size() > 1) {
+    // A stream file carries ONE sweep's header; a second scenario would
+    // be refused as a mismatched resume after the first already ran.
+    std::cerr << "--stream takes exactly one scenario (the stream file "
+                 "identifies a single sweep)\n";
+    return 2;
+  }
 
   // One pool for everything: scenarios run back to back, their (cell,
   // run) work items all scheduled onto these workers.
@@ -134,6 +145,7 @@ int run_scenarios(const CliOptions& options) {
   execution.shard_count = options.shard_count;
   execution.deterministic_timing = options.deterministic;
   execution.progress = options.progress ? &std::cerr : nullptr;
+  execution.stream_path = options.stream_path;
 
   const bool sharded = options.shard_count > 1;
   int exit_code = 0;
@@ -144,6 +156,10 @@ int run_scenarios(const CliOptions& options) {
     }
     std::cout << "=== " << scenario.name << " — " << scenario.reference
               << " ===\n";
+    if (!options.stream_path.empty()) {
+      std::cout << "(streaming cell records to " << options.stream_path
+                << "; a rerun with the same options resumes it)\n";
+    }
     const core::SweepJson document =
         core::run_scenario(scenario, options.scenario, execution, pool);
 
@@ -306,6 +322,8 @@ int main(int argc, char** argv) {
         options.out_dir = next_value("--out-dir");
       } else if (arg == "--out") {
         options.merge_out = next_value("--out");
+      } else if (arg == "--stream") {
+        options.stream_path = next_value("--stream");
       } else if (arg == "--deterministic") {
         options.deterministic = true;
       } else if (arg == "--shard") {

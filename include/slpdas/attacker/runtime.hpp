@@ -63,6 +63,16 @@ class AttackerRuntime final : public sim::TransmissionObserver {
   void on_transmission(wsn::NodeId from, const sim::Message& message,
                        sim::SimTime at) override;
 
+  /// The sender slot an eavesdropper infers from an arrival time: the
+  /// attacker knows the frame layout, so the offset within the TDMA
+  /// period maps to a data slot. Returns mac::kNoSlot for arrivals inside
+  /// the dissemination window and for any inference outside the frame's
+  /// [1, slot_count] slot range — a degenerate or mismatched frame (e.g.
+  /// a non-positive slot period) must yield "slot unknown", never a slot
+  /// number the schedule cannot contain.
+  [[nodiscard]] static mac::SlotId infer_sender_slot(
+      const mac::FrameConfig& frame, sim::SimTime at) noexcept;
+
  private:
   void maybe_decide();
   void roll_period(sim::SimTime at);

@@ -86,17 +86,27 @@ void register_builtin_scenarios(
     ScenarioRegistry& registry = ScenarioRegistry::global());
 
 /// How to execute a scenario's sweep (as opposed to WHAT to run, which is
-/// ScenarioOptions): pool sharing, sharding, timing determinism.
+/// ScenarioOptions): pool sharing, sharding, timing determinism, streaming.
 struct ScenarioExecution {
   int shard_index = 0;
   int shard_count = 1;
   bool deterministic_timing = false;
   std::ostream* progress = nullptr;
+  /// When non-empty, the sweep streams through this "slpdas.cell.v1" JSONL
+  /// file: a fresh file gets a header record and one appended record per
+  /// completed cell; an existing file is verified against this run
+  /// (name/base_seed/grid_hash/shard/cells_total — a mismatch throws),
+  /// rewritten without any torn tail, and only its missing cells are run.
+  /// Either way run_scenario returns the document folded from the
+  /// completed stream — bit-identical (under deterministic timing) to an
+  /// uninterrupted, unstreamed run.
+  std::string stream_path;
 };
 
 /// Expands the scenario's cells and runs them on the caller's pool (the
 /// CLI runs every selected scenario on ONE pool), returning the JSON
-/// document model named after the scenario.
+/// document model named after the scenario. With a stream_path set the
+/// run is incremental and resumable (see ScenarioExecution).
 [[nodiscard]] SweepJson run_scenario(const Scenario& scenario,
                                      const ScenarioOptions& options,
                                      const ScenarioExecution& execution,

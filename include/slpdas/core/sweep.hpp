@@ -19,6 +19,12 @@
 // ("slpdas.sweep.v2"; v1 documents still parse) via a single writer over
 // the SweepJson model, so a written-then-reparsed-then-rewritten document
 // is byte-stable — the property the shard merge relies on.
+//
+// Long sweeps additionally stream: `SweepOptions::stream` appends one
+// "slpdas.cell.v1" JSONL record per completed cell, so a killed process
+// keeps everything it finished; read_cell_stream + SweepOptions::skip_cells
+// resume such a run, and fold_cell_stream turns the completed stream back
+// into the ordinary document.
 #pragma once
 
 #include <cstddef>
@@ -93,6 +99,12 @@ class SweepGrid {
 [[nodiscard]] std::uint64_t derive_cell_seed(std::uint64_t base_seed,
                                              std::string_view label);
 
+/// Fingerprint of the full grid (every cell's label, seed label and run
+/// count, in order). Shards — and resumed streams — of one sweep agree on
+/// it; different grids (a changed axis value, run count or cell order)
+/// virtually never do.
+[[nodiscard]] std::uint64_t hash_sweep_grid(const std::vector<SweepCell>& cells);
+
 struct SweepOptions {
   int threads = 0;              ///< 0 = hardware concurrency
   std::uint64_t base_seed = 1;  ///< sweep-level seed, mixed per cell
@@ -113,6 +125,18 @@ struct SweepOptions {
   /// the serialised document is a pure function of (cells, base_seed,
   /// threads) — required for the merge-exact shard round-trip.
   bool deterministic_timing = false;
+  /// When set, every completed cell appends one self-contained
+  /// "slpdas.cell.v1" JSONL record to this sink — composed off-stream and
+  /// written as ONE flushed write under the sweep mutex, so a killed
+  /// process leaves only whole lines (plus at most one torn tail that
+  /// read_cell_stream drops). Cells whose runs threw are NOT recorded:
+  /// the stream only ever contains results a resume may trust. The caller
+  /// writes the header record (write_cell_stream_header) first.
+  std::ostream* stream = nullptr;
+  /// Full-grid indices of cells already completed by an earlier streamed
+  /// run; run_sweep neither re-runs nor re-reports them (their records
+  /// are already in the stream file).
+  std::vector<std::size_t> skip_cells;
 };
 
 struct SweepCellResult {
@@ -254,5 +278,87 @@ void write_sweep_json(std::ostream& out, const SweepResult& result,
 /// the unsharded deterministic document bit for bit. Throws
 /// std::runtime_error on inconsistent inputs.
 [[nodiscard]] SweepJson merge_sweep_shards(std::vector<SweepJson> shards);
+
+// ---------------------------------------------------------------------------
+// Incremental cell streams ("slpdas.cell.v1")
+// ---------------------------------------------------------------------------
+//
+// A cell stream is the crash-safe form of a sweep: a JSONL file whose first
+// line identifies the sweep (this header) and whose every further line is
+// one completed cell, appended the moment it finishes. A killed process
+// loses at most the in-flight cells; a resume verifies the header against
+// its own grid, skips the recorded cells, appends the rest, and folds the
+// stream into the ordinary "slpdas.sweep.v2" document — bit-identical
+// (under deterministic timing) to an uninterrupted run, so folded streams
+// compose with merge_sweep_shards unchanged.
+//
+// A stream file has ONE writer at a time: the resume rewrite renames a
+// fresh file over the path, so a second process appending to the same
+// stream concurrently would keep writing to the unlinked old inode and
+// lose its cells. Give concurrent processes distinct files (one per
+// shard) and merge the folded documents instead.
+
+/// Header record of a cell-stream file: the sweep-level identity a resume
+/// must verify before appending to it.
+struct CellStreamHeader {
+  std::string schema;  ///< "slpdas.cell.v1" when written by this library
+  std::string name;    ///< bench identifier (matches the folded document)
+  std::uint64_t base_seed = 0;
+  std::uint64_t grid_hash = 0;  ///< hash_sweep_grid of the FULL grid
+  int shard_index = 0;
+  int shard_count = 1;
+  std::uint64_t cells_total = 0;  ///< full grid size across all shards
+  /// Whether the run that started the stream zeroed its wall clocks.
+  /// A resume with the other setting is refused: mixing real-clock and
+  /// zeroed cells in one document would silently break the bit-
+  /// reproducibility contract the fold advertises.
+  bool deterministic = false;
+  /// Pool size of the run that STARTED the stream. Folding uses this
+  /// value, so a resume with a different --threads still reproduces the
+  /// original run's document (results never depend on the pool size).
+  int threads = 0;
+};
+
+/// A parsed cell stream: the header plus every whole-line record, in file
+/// (i.e. completion) order. fold_cell_stream re-sorts by cell index.
+struct CellStream {
+  CellStreamHeader header;
+  std::vector<SweepJsonCell> cells;
+};
+
+/// Writes the header record as one JSONL line (schema "slpdas.cell.v1").
+void write_cell_stream_header(std::ostream& out,
+                              const CellStreamHeader& header);
+
+/// Writes one completed cell as one self-contained JSONL line. The field
+/// set and formatting discipline match the "slpdas.sweep.v2" cell objects
+/// (single writer, max_digits10 doubles), so a record read back and
+/// rewritten is byte-stable — the property the crash-safe resume rewrite
+/// relies on.
+void write_cell_stream_record(std::ostream& out, const SweepJsonCell& cell);
+
+/// Parses a cell-stream file. A final line without a terminating newline
+/// is a torn write from a killed process and is silently dropped; any
+/// complete but malformed line, a missing/unknown header, a record whose
+/// index falls outside the grid or the header's shard, or a duplicate
+/// record for one cell throws std::runtime_error.
+[[nodiscard]] CellStream read_cell_stream(std::istream& in);
+
+/// Throws std::runtime_error (naming the first differing field) when
+/// `existing` — the header of a stream file found on disk — does not
+/// describe the same sweep as `expected`. `threads` is deliberately not
+/// compared: a resume may use a different pool size without affecting any
+/// result.
+void verify_cell_stream_resumable(const CellStreamHeader& existing,
+                                  const CellStreamHeader& expected);
+
+/// Folds a COMPLETE stream (every cell of the header's shard present) into
+/// the ordinary "slpdas.sweep.v2" document: cells sorted by index, threads
+/// from the header, distinct_worker_threads 0 and wall_seconds the sum of
+/// the cell wall clocks — so a deterministic-timing stream folds into a
+/// document bit-identical to an uninterrupted run. Throws
+/// std::runtime_error naming the first missing cell when the stream is
+/// still partial (resume the run to complete it).
+[[nodiscard]] SweepJson fold_cell_stream(const CellStream& stream);
 
 }  // namespace slpdas::core

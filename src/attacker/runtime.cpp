@@ -70,17 +70,32 @@ void AttackerRuntime::on_transmission(wsn::NodeId from,
 
   // ARcv:: — buffer up to R messages.
   if (static_cast<int>(messages_.size()) < params_.messages_per_move) {
-    mac::SlotId sender_slot = mac::kNoSlot;
-    // The sender's slot is observable from the arrival time within the
-    // period (the attacker knows the frame layout).
-    const sim::SimTime offset = at - frame_.period_start(frame_.period_of(at));
-    if (offset >= frame_.dissem_period) {
-      sender_slot = static_cast<mac::SlotId>(
-          (offset - frame_.dissem_period) / frame_.slot_period + 1);
-    }
-    messages_.push_back(HeardMessage{from, sender_slot});
+    messages_.push_back(HeardMessage{from, infer_sender_slot(frame_, at)});
   }
   maybe_decide();
+}
+
+mac::SlotId AttackerRuntime::infer_sender_slot(const mac::FrameConfig& frame,
+                                               sim::SimTime at) noexcept {
+  // Guard the period arithmetic itself: a frame with a non-positive slot
+  // period (or an overflowed period) has no well-defined slot timeline.
+  if (frame.slot_period <= 0 || frame.period() <= 0) {
+    return mac::kNoSlot;
+  }
+  // The sender's slot is observable from the arrival time within the
+  // period (the attacker knows the frame layout).
+  const sim::SimTime offset = at - frame.period_start(frame.period_of(at));
+  if (offset < frame.dissem_period) {
+    return mac::kNoSlot;  // dissemination window carries no data slots
+  }
+  const std::int64_t slot = (offset - frame.dissem_period) / frame.slot_period + 1;
+  // Clamp inferences past the frame's last data slot (or below slot 1) to
+  // "unknown" — feeding an out-of-range SlotId to the decision function
+  // would skew min-slot-style attackers toward phantom transmitters.
+  if (slot < 1 || slot > static_cast<std::int64_t>(frame.slot_count)) {
+    return mac::kNoSlot;
+  }
+  return static_cast<mac::SlotId>(slot);
 }
 
 void AttackerRuntime::maybe_decide() {

@@ -96,10 +96,9 @@ std::uint64_t fnv1a(std::uint64_t hash, std::string_view text) {
   return hash;
 }
 
-/// Fingerprint of the full grid: every cell's identity and run count, in
-/// order. Shards of one sweep agree on it; different grids (a changed
-/// axis value, run count or cell order) virtually never do.
-std::uint64_t hash_grid(const std::vector<SweepCell>& cells) {
+}  // namespace
+
+std::uint64_t hash_sweep_grid(const std::vector<SweepCell>& cells) {
   std::uint64_t hash = kFnvOffset;
   for (const SweepCell& cell : cells) {
     hash = fnv1a(hash, cell.label);
@@ -108,8 +107,6 @@ std::uint64_t hash_grid(const std::vector<SweepCell>& cells) {
   }
   return hash;
 }
-
-}  // namespace
 
 std::uint64_t derive_cell_seed(std::uint64_t base_seed,
                                std::string_view label) {
@@ -141,8 +138,12 @@ struct CellProgress {
   std::atomic<int> remaining{0};
   Clock::time_point started{};
   std::atomic<bool> started_set{false};
+  std::atomic<bool> failed{false};
   double wall_seconds = 0.0;
 };
+
+/// Defined in the JSON section below; run_sweep streams through it.
+SweepJsonCell to_json_cell(const SweepCellResult& cell);
 
 }  // namespace
 
@@ -177,18 +178,22 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
     }
   }
 
-  // Deterministic round-robin partition by full-grid cell index.
+  // Deterministic round-robin partition by full-grid cell index, minus the
+  // cells a resumed stream already holds records for.
+  const std::set<std::size_t> skip(options.skip_cells.begin(),
+                                   options.skip_cells.end());
   std::vector<std::size_t> mine;
   for (std::size_t c = 0; c < cells.size(); ++c) {
     if (c % static_cast<std::size_t>(options.shard_count) ==
-        static_cast<std::size_t>(options.shard_index)) {
+            static_cast<std::size_t>(options.shard_index) &&
+        skip.count(c) == 0) {
       mine.push_back(c);
     }
   }
 
   SweepResult sweep;
   sweep.base_seed = options.base_seed;
-  sweep.grid_hash = hash_grid(cells);
+  sweep.grid_hash = hash_sweep_grid(cells);
   sweep.shard_index = options.shard_index;
   sweep.shard_count = options.shard_count;
   sweep.cells_total = cells.size();
@@ -200,6 +205,10 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
   std::set<std::thread::id> worker_ids;
   std::size_t cells_finished = 0;
   std::exception_ptr first_error;
+  // Set when a stream record write fails (ENOSPC, a yanked volume): the
+  // sweep is then doomed to rethrow, so remaining simulations are skipped
+  // — their cells could not be recorded and a resume re-runs them anyway.
+  std::atomic<bool> stream_failed{false};
   // Progress lines accumulate here and flush as ONE stream write at most
   // once per progress_interval_ms (re-checked at every cell completion
   // and once after the pool drains), so lines are never interleaved
@@ -228,11 +237,17 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
           state.started = Clock::now();
         }
         try {
-          const std::uint64_t seed =
-              derive_seed(cell_seed, static_cast<std::uint64_t>(run));
-          state.runs[static_cast<std::size_t>(run)] =
-              run_single(cell.config, seed);
+          if (options.stream != nullptr &&
+              stream_failed.load(std::memory_order_relaxed)) {
+            state.failed.store(true);
+          } else {
+            const std::uint64_t seed =
+                derive_seed(cell_seed, static_cast<std::uint64_t>(run));
+            state.runs[static_cast<std::size_t>(run)] =
+                run_single(cell.config, seed);
+          }
         } catch (...) {
+          state.failed.store(true);
           const std::scoped_lock lock(mutex);
           if (!first_error) {
             first_error = std::current_exception();
@@ -250,7 +265,30 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
           out.result = aggregate_runs(state.runs, cell.config.check_schedules);
           out.wall_seconds =
               options.deterministic_timing ? 0.0 : state.wall_seconds;
+          // Compose the stream record off-stream and off-lock; a cell with
+          // a failed run is never recorded (a resume must not trust it).
+          std::string record;
+          if (options.stream != nullptr && !state.failed.load()) {
+            std::ostringstream line;
+            write_cell_stream_record(line, to_json_cell(out));
+            record = line.str();
+          }
           const std::scoped_lock lock(mutex);
+          if (!record.empty()) {
+            // One write + flush per record: a kill leaves whole lines (at
+            // worst one torn tail, which read_cell_stream drops).
+            *options.stream << record;
+            options.stream->flush();
+            if (!options.stream->good()) {
+              stream_failed.store(true, std::memory_order_relaxed);
+              if (!first_error) {
+                first_error = std::make_exception_ptr(std::runtime_error(
+                    "cell stream write failed (disk full?) — cells "
+                    "completed past this point are unrecorded; fix the "
+                    "volume and resume from the stream file"));
+              }
+            }
+          }
           ++cells_finished;
           if (options.progress != nullptr) {
             // Compose the whole line off-stream (std::to_chars for the
@@ -316,6 +354,7 @@ namespace {
 
 constexpr std::string_view kSchemaV1 = "slpdas.sweep.v1";
 constexpr std::string_view kSchemaV2 = "slpdas.sweep.v2";
+constexpr std::string_view kCellSchemaV1 = "slpdas.cell.v1";
 
 /// Doubles print with max_digits10 so the round-trip is exact; NaN and
 /// infinities (empty-stat min/max) serialise as null.
@@ -378,8 +417,45 @@ SweepJsonStats to_json_stats(const metrics::RunningStats& stats) {
   return out;
 }
 
+SweepJsonCell to_json_cell(const SweepCellResult& cell) {
+  SweepJsonCell out;
+  out.index = cell.index;
+  out.label = cell.label;
+  out.coordinates = cell.coordinates;
+  out.cell_seed = cell.cell_seed;
+  out.runs = cell.runs;
+  const ExperimentResult& r = cell.result;
+  out.capture_trials = r.capture.trials();
+  out.capture_successes = r.capture.successes();
+  out.capture_ratio = r.capture.ratio();
+  const auto [low, high] = r.capture.wilson95();
+  out.capture_wilson95_low = low;
+  out.capture_wilson95_high = high;
+  out.capture_time_s = to_json_stats(r.capture_time_s);
+  out.delivery_ratio = to_json_stats(r.delivery_ratio);
+  out.delivery_latency_s = to_json_stats(r.delivery_latency_s);
+  out.control_messages_per_node = to_json_stats(r.control_messages_per_node);
+  out.normal_messages_per_node = to_json_stats(r.normal_messages_per_node);
+  out.attacker_moves = to_json_stats(r.attacker_moves);
+  out.slot_band_span = to_json_stats(r.slot_band_span);
+  out.schedule_density = to_json_stats(r.schedule_density);
+  out.schedule_incomplete_runs = r.schedule_incomplete_runs;
+  out.weak_das_failures = r.weak_das_failures;
+  out.strong_das_failures = r.strong_das_failures;
+  out.wall_seconds = cell.wall_seconds;
+  return out;
+}
+
 /// The per-cell stats blocks, in serialisation order.
 using StatsField = std::pair<const char*, SweepJsonStats SweepJsonCell::*>;
+/// Writes a cell's fields (everything between its braces). `sep`
+/// separates fields — ",\n      " inside the indented sweep document,
+/// ", " in a single-line cell-stream record — so both writers share ONE
+/// field list and can never drift apart from each other or from
+/// parse_cell: the byte-stable round trip the resume rewrite relies on.
+void write_cell_fields(std::ostream& out, const SweepJsonCell& cell,
+                       const char* sep);
+
 constexpr StatsField kStatsFields[] = {
     {"capture_time_s", &SweepJsonCell::capture_time_s},
     {"delivery_ratio", &SweepJsonCell::delivery_ratio},
@@ -390,6 +466,39 @@ constexpr StatsField kStatsFields[] = {
     {"slot_band_span", &SweepJsonCell::slot_band_span},
     {"schedule_density", &SweepJsonCell::schedule_density},
 };
+
+void write_cell_fields(std::ostream& out, const SweepJsonCell& cell,
+                       const char* sep) {
+  out << "\"index\": " << cell.index << sep << "\"label\": ";
+  write_string(out, cell.label);
+  out << sep << "\"coordinates\": {";
+  for (std::size_t i = 0; i < cell.coordinates.size(); ++i) {
+    out << (i == 0 ? "" : ", ");
+    write_string(out, cell.coordinates[i].first);
+    out << ": ";
+    write_string(out, cell.coordinates[i].second);
+  }
+  out << '}' << sep << "\"cell_seed\": " << cell.cell_seed << sep
+      << "\"runs\": " << cell.runs << sep
+      << "\"capture\": {\"trials\": " << cell.capture_trials
+      << ", \"successes\": " << cell.capture_successes << ", \"ratio\": ";
+  write_double(out, cell.capture_ratio);
+  out << ", \"wilson95\": [";
+  write_double(out, cell.capture_wilson95_low);
+  out << ", ";
+  write_double(out, cell.capture_wilson95_high);
+  out << "]}";
+  for (const auto& [key, member] : kStatsFields) {
+    out << sep << "\"" << key << "\": ";
+    write_stats(out, cell.*member);
+  }
+  out << sep << "\"schedule_incomplete_runs\": "
+      << cell.schedule_incomplete_runs << sep
+      << "\"weak_das_failures\": " << cell.weak_das_failures << sep
+      << "\"strong_das_failures\": " << cell.strong_das_failures << sep
+      << "\"wall_seconds\": ";
+  write_double(out, cell.wall_seconds);
+}
 
 }  // namespace
 
@@ -428,32 +537,7 @@ SweepJson to_sweep_json(const SweepResult& result, std::string_view name) {
   document.wall_seconds = result.wall_seconds;
   document.cells.reserve(result.cells.size());
   for (const SweepCellResult& cell : result.cells) {
-    SweepJsonCell out;
-    out.index = cell.index;
-    out.label = cell.label;
-    out.coordinates = cell.coordinates;
-    out.cell_seed = cell.cell_seed;
-    out.runs = cell.runs;
-    const ExperimentResult& r = cell.result;
-    out.capture_trials = r.capture.trials();
-    out.capture_successes = r.capture.successes();
-    out.capture_ratio = r.capture.ratio();
-    const auto [low, high] = r.capture.wilson95();
-    out.capture_wilson95_low = low;
-    out.capture_wilson95_high = high;
-    out.capture_time_s = to_json_stats(r.capture_time_s);
-    out.delivery_ratio = to_json_stats(r.delivery_ratio);
-    out.delivery_latency_s = to_json_stats(r.delivery_latency_s);
-    out.control_messages_per_node = to_json_stats(r.control_messages_per_node);
-    out.normal_messages_per_node = to_json_stats(r.normal_messages_per_node);
-    out.attacker_moves = to_json_stats(r.attacker_moves);
-    out.slot_band_span = to_json_stats(r.slot_band_span);
-    out.schedule_density = to_json_stats(r.schedule_density);
-    out.schedule_incomplete_runs = r.schedule_incomplete_runs;
-    out.weak_das_failures = r.weak_das_failures;
-    out.strong_das_failures = r.strong_das_failures;
-    out.wall_seconds = cell.wall_seconds;
-    document.cells.push_back(std::move(out));
+    document.cells.push_back(to_json_cell(cell));
   }
   return document;
 }
@@ -480,36 +564,8 @@ void write_sweep_json(std::ostream& out, const SweepJson& document) {
   out << ",\n  \"cells\": [";
   for (std::size_t c = 0; c < document.cells.size(); ++c) {
     const SweepJsonCell& cell = document.cells[c];
-    out << (c == 0 ? "\n" : ",\n")
-        << "    {\n      \"index\": " << cell.index << ",\n      \"label\": ";
-    write_string(out, cell.label);
-    out << ",\n      \"coordinates\": {";
-    for (std::size_t i = 0; i < cell.coordinates.size(); ++i) {
-      out << (i == 0 ? "" : ", ");
-      write_string(out, cell.coordinates[i].first);
-      out << ": ";
-      write_string(out, cell.coordinates[i].second);
-    }
-    out << "},\n      \"cell_seed\": " << cell.cell_seed
-        << ",\n      \"runs\": " << cell.runs;
-    out << ",\n      \"capture\": {\"trials\": " << cell.capture_trials
-        << ", \"successes\": " << cell.capture_successes << ", \"ratio\": ";
-    write_double(out, cell.capture_ratio);
-    out << ", \"wilson95\": [";
-    write_double(out, cell.capture_wilson95_low);
-    out << ", ";
-    write_double(out, cell.capture_wilson95_high);
-    out << "]}";
-    for (const auto& [key, member] : kStatsFields) {
-      out << ",\n      \"" << key << "\": ";
-      write_stats(out, cell.*member);
-    }
-    out << ",\n      \"schedule_incomplete_runs\": "
-        << cell.schedule_incomplete_runs
-        << ",\n      \"weak_das_failures\": " << cell.weak_das_failures
-        << ",\n      \"strong_das_failures\": " << cell.strong_das_failures
-        << ",\n      \"wall_seconds\": ";
-    write_double(out, cell.wall_seconds);
+    out << (c == 0 ? "\n" : ",\n") << "    {\n      ";
+    write_cell_fields(out, cell, ",\n      ");
     out << "\n    }";
   }
   out << (document.cells.empty() ? "]" : "\n  ]") << "\n}\n";
@@ -596,6 +652,13 @@ class JsonParser {
       } catch (const std::exception&) {
         throw std::runtime_error("sweep json: bad integer: " + raw);
       }
+    }
+
+    [[nodiscard]] bool as_bool() const {
+      if (kind != Kind::kBool) {
+        throw std::runtime_error("sweep json: expected boolean");
+      }
+      return boolean;
     }
 
     [[nodiscard]] const std::string& as_string() const {
@@ -845,6 +908,50 @@ SweepJsonStats parse_stats(const JsonParser::Value& value) {
   return stats;
 }
 
+/// One cell object — shared between the v1/v2 document reader and the
+/// cell-stream reader (whose records carry the same field set as v2).
+SweepJsonCell parse_cell(const JsonParser::Value& cell_value, bool v2,
+                         std::uint64_t fallback_index) {
+  SweepJsonCell cell;
+  cell.index = v2 ? cell_value.at("index").as_u64() : fallback_index;
+  cell.label = cell_value.at("label").as_string();
+  for (const auto& [key, value] : cell_value.at("coordinates").as_object()) {
+    cell.coordinates.emplace_back(key, value.as_string());
+  }
+  cell.cell_seed = cell_value.at("cell_seed").as_u64();
+  cell.runs = static_cast<int>(cell_value.at("runs").as_number());
+  const JsonParser::Value& capture = cell_value.at("capture");
+  cell.capture_trials = capture.at("trials").as_u64();
+  cell.capture_successes = capture.at("successes").as_u64();
+  cell.capture_ratio = capture.at("ratio").as_number();
+  const JsonParser::Array& wilson = capture.at("wilson95").as_array();
+  if (wilson.size() != 2) {
+    throw std::runtime_error("sweep json: wilson95 must have two entries");
+  }
+  cell.capture_wilson95_low = wilson[0].as_number();
+  cell.capture_wilson95_high = wilson[1].as_number();
+  cell.capture_time_s = parse_stats(cell_value.at("capture_time_s"));
+  cell.delivery_ratio = parse_stats(cell_value.at("delivery_ratio"));
+  cell.delivery_latency_s = parse_stats(cell_value.at("delivery_latency_s"));
+  cell.control_messages_per_node =
+      parse_stats(cell_value.at("control_messages_per_node"));
+  cell.normal_messages_per_node =
+      parse_stats(cell_value.at("normal_messages_per_node"));
+  cell.attacker_moves = parse_stats(cell_value.at("attacker_moves"));
+  if (v2) {
+    cell.slot_band_span = parse_stats(cell_value.at("slot_band_span"));
+    cell.schedule_density = parse_stats(cell_value.at("schedule_density"));
+  }
+  cell.schedule_incomplete_runs =
+      static_cast<int>(cell_value.at("schedule_incomplete_runs").as_number());
+  cell.weak_das_failures =
+      static_cast<int>(cell_value.at("weak_das_failures").as_number());
+  cell.strong_das_failures =
+      static_cast<int>(cell_value.at("strong_das_failures").as_number());
+  cell.wall_seconds = cell_value.at("wall_seconds").as_number();
+  return cell;
+}
+
 }  // namespace
 
 SweepJson read_sweep_json(std::istream& in) {
@@ -876,45 +983,8 @@ SweepJson read_sweep_json(std::istream& in) {
   document.wall_seconds = root.at("wall_seconds").as_number();
 
   for (const JsonParser::Value& cell_value : root.at("cells").as_array()) {
-    SweepJsonCell cell;
-    cell.index = v2 ? cell_value.at("index").as_u64()
-                    : static_cast<std::uint64_t>(document.cells.size());
-    cell.label = cell_value.at("label").as_string();
-    for (const auto& [key, value] : cell_value.at("coordinates").as_object()) {
-      cell.coordinates.emplace_back(key, value.as_string());
-    }
-    cell.cell_seed = cell_value.at("cell_seed").as_u64();
-    cell.runs = static_cast<int>(cell_value.at("runs").as_number());
-    const JsonParser::Value& capture = cell_value.at("capture");
-    cell.capture_trials = capture.at("trials").as_u64();
-    cell.capture_successes = capture.at("successes").as_u64();
-    cell.capture_ratio = capture.at("ratio").as_number();
-    const JsonParser::Array& wilson = capture.at("wilson95").as_array();
-    if (wilson.size() != 2) {
-      throw std::runtime_error("sweep json: wilson95 must have two entries");
-    }
-    cell.capture_wilson95_low = wilson[0].as_number();
-    cell.capture_wilson95_high = wilson[1].as_number();
-    cell.capture_time_s = parse_stats(cell_value.at("capture_time_s"));
-    cell.delivery_ratio = parse_stats(cell_value.at("delivery_ratio"));
-    cell.delivery_latency_s = parse_stats(cell_value.at("delivery_latency_s"));
-    cell.control_messages_per_node =
-        parse_stats(cell_value.at("control_messages_per_node"));
-    cell.normal_messages_per_node =
-        parse_stats(cell_value.at("normal_messages_per_node"));
-    cell.attacker_moves = parse_stats(cell_value.at("attacker_moves"));
-    if (v2) {
-      cell.slot_band_span = parse_stats(cell_value.at("slot_band_span"));
-      cell.schedule_density = parse_stats(cell_value.at("schedule_density"));
-    }
-    cell.schedule_incomplete_runs =
-        static_cast<int>(cell_value.at("schedule_incomplete_runs").as_number());
-    cell.weak_das_failures =
-        static_cast<int>(cell_value.at("weak_das_failures").as_number());
-    cell.strong_das_failures =
-        static_cast<int>(cell_value.at("strong_das_failures").as_number());
-    cell.wall_seconds = cell_value.at("wall_seconds").as_number();
-    document.cells.push_back(std::move(cell));
+    document.cells.push_back(parse_cell(
+        cell_value, v2, static_cast<std::uint64_t>(document.cells.size())));
   }
   if (!v2) {
     document.cells_total = document.cells.size();
@@ -1006,6 +1076,208 @@ SweepJson merge_sweep_shards(std::vector<SweepJson> shards) {
     }
   }
   return merged;
+}
+
+// ---------------------------------------------------------------------------
+// Cell streams ("slpdas.cell.v1")
+// ---------------------------------------------------------------------------
+
+void write_cell_stream_header(std::ostream& out,
+                              const CellStreamHeader& header) {
+  const auto saved_flags = out.flags();
+  const auto saved_fill = out.fill();
+  out << "{\"schema\": ";
+  write_string(out, kCellSchemaV1);
+  out << ", \"name\": ";
+  write_string(out, header.name);
+  out << ", \"base_seed\": " << header.base_seed
+      << ", \"grid_hash\": " << header.grid_hash
+      << ", \"shard\": {\"index\": " << header.shard_index
+      << ", \"count\": " << header.shard_count
+      << ", \"cells_total\": " << header.cells_total
+      << "}, \"deterministic\": "
+      << (header.deterministic ? "true" : "false")
+      << ", \"threads\": " << header.threads << "}\n";
+  out.flags(saved_flags);
+  out.fill(saved_fill);
+}
+
+void write_cell_stream_record(std::ostream& out, const SweepJsonCell& cell) {
+  const auto saved_flags = out.flags();
+  const auto saved_precision = out.precision();
+  const auto saved_fill = out.fill();
+  out << '{';
+  write_cell_fields(out, cell, ", ");
+  out << "}\n";
+  out.flags(saved_flags);
+  out.precision(saved_precision);
+  out.fill(saved_fill);
+}
+
+CellStream read_cell_stream(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  CellStream stream;
+  bool have_header = false;
+  std::set<std::uint64_t> seen;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t newline = text.find('\n', pos);
+    if (newline == std::string::npos) {
+      // No terminating newline: a torn tail from a killed writer (records
+      // are single flushed writes, so only the LAST line can be torn).
+      break;
+    }
+    const std::string line = text.substr(pos, newline - pos);
+    pos = newline + 1;
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream line_in(line);
+    JsonParser parser(line_in);
+    const JsonParser::Value root = parser.parse();
+    if (!have_header) {
+      stream.header.schema = root.at("schema").as_string();
+      if (stream.header.schema != kCellSchemaV1) {
+        throw std::runtime_error("cell stream: unknown schema '" +
+                                 stream.header.schema + "'");
+      }
+      stream.header.name = root.at("name").as_string();
+      stream.header.base_seed = root.at("base_seed").as_u64();
+      stream.header.grid_hash = root.at("grid_hash").as_u64();
+      const JsonParser::Value& shard = root.at("shard");
+      stream.header.shard_index =
+          static_cast<int>(shard.at("index").as_number());
+      stream.header.shard_count =
+          static_cast<int>(shard.at("count").as_number());
+      stream.header.cells_total = shard.at("cells_total").as_u64();
+      if (stream.header.shard_count < 1 || stream.header.shard_index < 0 ||
+          stream.header.shard_index >= stream.header.shard_count) {
+        throw std::runtime_error("cell stream: invalid shard spec " +
+                                 std::to_string(stream.header.shard_index) +
+                                 "/" +
+                                 std::to_string(stream.header.shard_count));
+      }
+      stream.header.deterministic = root.at("deterministic").as_bool();
+      stream.header.threads = static_cast<int>(root.at("threads").as_number());
+      have_header = true;
+      continue;
+    }
+    SweepJsonCell cell = parse_cell(root, /*v2=*/true, 0);
+    if (cell.index >= stream.header.cells_total) {
+      throw std::runtime_error("cell stream: cell index " +
+                               std::to_string(cell.index) +
+                               " lies outside the grid");
+    }
+    if (cell.index % static_cast<std::uint64_t>(stream.header.shard_count) !=
+        static_cast<std::uint64_t>(stream.header.shard_index)) {
+      throw std::runtime_error(
+          "cell stream: cell " + std::to_string(cell.index) +
+          " does not belong to shard " +
+          std::to_string(stream.header.shard_index) + "/" +
+          std::to_string(stream.header.shard_count));
+    }
+    if (!seen.insert(cell.index).second) {
+      throw std::runtime_error("cell stream: duplicate record for cell " +
+                               std::to_string(cell.index));
+    }
+    stream.cells.push_back(std::move(cell));
+  }
+  if (!have_header) {
+    throw std::runtime_error("cell stream: missing header record");
+  }
+  return stream;
+}
+
+void verify_cell_stream_resumable(const CellStreamHeader& existing,
+                                  const CellStreamHeader& expected) {
+  const auto refuse = [](const char* field, const std::string& stream_has,
+                         const std::string& run_wants) {
+    throw std::runtime_error(
+        std::string("cell stream: ") + field + " mismatch (stream has " +
+        stream_has + ", this run expects " + run_wants +
+        ") — the stream file belongs to a different sweep");
+  };
+  if (existing.name != expected.name) {
+    refuse("name", "'" + existing.name + "'", "'" + expected.name + "'");
+  }
+  if (existing.base_seed != expected.base_seed) {
+    refuse("base_seed", std::to_string(existing.base_seed),
+           std::to_string(expected.base_seed));
+  }
+  if (existing.grid_hash != expected.grid_hash) {
+    refuse("grid_hash", std::to_string(existing.grid_hash),
+           std::to_string(expected.grid_hash));
+  }
+  if (existing.shard_index != expected.shard_index ||
+      existing.shard_count != expected.shard_count) {
+    refuse("shard",
+           std::to_string(existing.shard_index) + "/" +
+               std::to_string(existing.shard_count),
+           std::to_string(expected.shard_index) + "/" +
+               std::to_string(expected.shard_count));
+  }
+  if (existing.cells_total != expected.cells_total) {
+    refuse("cells_total", std::to_string(existing.cells_total),
+           std::to_string(expected.cells_total));
+  }
+  if (existing.deterministic != expected.deterministic) {
+    // Mixing zeroed and real wall clocks in one folded document would
+    // silently break the bit-reproducibility contract.
+    refuse("deterministic", existing.deterministic ? "true" : "false",
+           expected.deterministic ? "true" : "false");
+  }
+  // `threads` is deliberately not compared: seeds and aggregation are
+  // pool-size independent, so a resume on different hardware is fine (the
+  // fold keeps the original run's thread count).
+}
+
+SweepJson fold_cell_stream(const CellStream& stream) {
+  const CellStreamHeader& header = stream.header;
+  if (header.shard_count < 1 || header.shard_index < 0 ||
+      header.shard_index >= header.shard_count) {
+    throw std::runtime_error("cell stream: invalid shard spec " +
+                             std::to_string(header.shard_index) + "/" +
+                             std::to_string(header.shard_count));
+  }
+  SweepJson document;
+  document.schema = std::string(kSchemaV2);
+  document.name = header.name;
+  document.base_seed = header.base_seed;
+  document.grid_hash = header.grid_hash;
+  document.shard_index = header.shard_index;
+  document.shard_count = header.shard_count;
+  document.cells_total = header.cells_total;
+  document.threads = header.threads;
+  document.distinct_worker_threads = 0;
+  document.cells = stream.cells;
+  // Records arrive in completion order; the document wants grid order.
+  std::sort(document.cells.begin(), document.cells.end(),
+            [](const SweepJsonCell& a, const SweepJsonCell& b) {
+              return a.index < b.index;
+            });
+  std::size_t at = 0;
+  for (std::uint64_t i = 0; i < header.cells_total; ++i) {
+    if (i % static_cast<std::uint64_t>(header.shard_count) !=
+        static_cast<std::uint64_t>(header.shard_index)) {
+      continue;
+    }
+    if (at >= document.cells.size() || document.cells[at].index != i) {
+      throw std::runtime_error(
+          "cell stream: cell " + std::to_string(i) +
+          " has no record yet — resume the run to complete the stream "
+          "before folding it");
+    }
+    document.wall_seconds += document.cells[at].wall_seconds;
+    ++at;
+  }
+  if (at != document.cells.size()) {
+    throw std::runtime_error(
+        "cell stream: carries more records than the grid has cells");
+  }
+  return document;
 }
 
 }  // namespace slpdas::core

@@ -1,6 +1,8 @@
 #include "slpdas/wsn/topology.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <queue>
 #include <stdexcept>
 #include <string>
@@ -59,9 +61,20 @@ Topology make_grid(int width, int height, double spacing,
   if (spacing <= 0.0) {
     throw std::invalid_argument("make_grid: non-positive spacing");
   }
+  // The node count must be computed in 64 bits: width * height can
+  // overflow NodeId (a signed 32-bit multiply is undefined behaviour)
+  // long before the Graph constructor could notice anything wrong.
+  const std::int64_t node_count =
+      static_cast<std::int64_t>(width) * static_cast<std::int64_t>(height);
+  if (node_count > static_cast<std::int64_t>(
+                       std::numeric_limits<NodeId>::max())) {
+    throw std::invalid_argument(
+        "make_grid: " + std::to_string(width) + "x" + std::to_string(height) +
+        " grid exceeds the NodeId range");
+  }
   Topology topology;
-  topology.graph = Graph(static_cast<NodeId>(width) * height);
-  topology.positions.resize(static_cast<std::size_t>(width) * height);
+  topology.graph = Graph(static_cast<NodeId>(node_count));
+  topology.positions.resize(static_cast<std::size_t>(node_count));
   for (int y = 0; y < height; ++y) {
     for (int x = 0; x < width; ++x) {
       const NodeId id = grid_node(width, x, y);
@@ -80,6 +93,12 @@ Topology make_grid(int width, int height, double spacing,
   if (!topology.graph.contains(topology.source) ||
       !topology.graph.contains(topology.sink)) {
     throw std::invalid_argument("make_grid: source/sink out of range");
+  }
+  if (topology.source == topology.sink) {
+    // A convergecast whose asset sits on the base station is degenerate:
+    // the attacker starts captured and no delivery ever crosses a link.
+    throw std::invalid_argument(
+        "make_grid: source and sink must be distinct nodes");
   }
   return topology;
 }

@@ -129,6 +129,55 @@ TEST(AttackerRuntimeTest, KeepsRunningWhenStopDisabled) {
   EXPECT_EQ(net.simulator->now(), horizon);
 }
 
+TEST(AttackerSlotInferenceTest, MapsArrivalTimesToDataSlots) {
+  const mac::FrameConfig frame;  // Table I: 100 slots, Pslot 0.05s, Pdiss 0.5s
+  const sim::SimTime dissem = frame.dissem_period;
+  // The dissemination window carries no data slots.
+  EXPECT_EQ(AttackerRuntime::infer_sender_slot(frame, 0), mac::kNoSlot);
+  EXPECT_EQ(AttackerRuntime::infer_sender_slot(frame, dissem - 1),
+            mac::kNoSlot);
+  // First tick of slot 1; last tick of the last slot of the period.
+  EXPECT_EQ(AttackerRuntime::infer_sender_slot(frame, dissem), 1);
+  EXPECT_EQ(AttackerRuntime::infer_sender_slot(frame, frame.period() - 1),
+            frame.slot_count);
+  // The mapping is periodic: slot 2 of the third period.
+  EXPECT_EQ(AttackerRuntime::infer_sender_slot(
+                frame, 2 * frame.period() + dissem + frame.slot_period),
+            2);
+  // Pre-epoch times never map to a slot.
+  EXPECT_EQ(AttackerRuntime::infer_sender_slot(frame, -5), mac::kNoSlot);
+}
+
+TEST(AttackerSlotInferenceTest, DegenerateFramesInferNoSlotInsteadOfUB) {
+  // Regression: a non-positive slot period used to reach the
+  // (offset - Pdiss) / Pslot division unguarded, and any inference past
+  // the frame's last data slot was handed to the decision function as a
+  // SlotId the schedule cannot contain.
+  mac::FrameConfig zero = {};
+  zero.slot_period = 0;
+  EXPECT_EQ(AttackerRuntime::infer_sender_slot(zero, zero.dissem_period + 1),
+            mac::kNoSlot);
+  mac::FrameConfig negative = {};
+  negative.slot_period = -5;
+  EXPECT_EQ(
+      AttackerRuntime::infer_sender_slot(negative, negative.dissem_period + 1),
+      mac::kNoSlot);
+  // No data slots at all: every arrival is "slot unknown".
+  mac::FrameConfig slotless = {};
+  slotless.slot_count = 0;
+  for (sim::SimTime at : {sim::SimTime{0}, slotless.dissem_period - 1,
+                          slotless.dissem_period, 3 * slotless.period()}) {
+    EXPECT_EQ(AttackerRuntime::infer_sender_slot(slotless, at), mac::kNoSlot)
+        << at;
+  }
+  // A non-positive period (negative slot count) has no slot timeline.
+  mac::FrameConfig inverted = {};
+  inverted.slot_count = -100;
+  inverted.slot_period = sim::kSecond;
+  EXPECT_EQ(AttackerRuntime::infer_sender_slot(inverted, sim::kSecond),
+            mac::kNoSlot);
+}
+
 TEST(AttackerRuntimeTest, HistoryAttackerRecordsBoundedHistory) {
   auto net = make_protectionless_net(wsn::make_grid(5), fast_parameters(), 9);
   AttackerParams params;

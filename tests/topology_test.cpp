@@ -3,6 +3,9 @@
 // horizontal/vertical links only).
 #include "slpdas/wsn/topology.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "slpdas/wsn/paths.hpp"
@@ -63,6 +66,30 @@ TEST(GridTopologyTest, RectangularGridWithExplicitEndpoints) {
   EXPECT_EQ(topology.sink, 8);
 }
 
+TEST(GridTopologyTest, RejectsSourceEqualSink) {
+  // A convergecast whose asset sits on the base station is degenerate:
+  // the attacker starts captured and no delivery crosses a link.
+  EXPECT_THROW(make_grid(3, 3, 1.0, NodeId{4}, NodeId{4}),
+               std::invalid_argument);
+  // Also caught when only one endpoint is explicit and it collides with
+  // the other's default (centre sink of a 3x3 grid is node 4).
+  EXPECT_THROW(make_grid(3, 3, 1.0, NodeId{4}, std::nullopt),
+               std::invalid_argument);
+  EXPECT_THROW(make_grid(3, 3, 1.0, std::nullopt, NodeId{0}),
+               std::invalid_argument);
+}
+
+TEST(GridTopologyTest, RejectsNodeCountOverflowingNodeId) {
+  // 46341^2 = 2147488281 just exceeds the 2^31-1 NodeId range; the old
+  // 32-bit multiply wrapped (undefined behaviour) before the Graph
+  // constructor could see anything wrong. The check must fire before any
+  // allocation is attempted.
+  EXPECT_THROW(make_grid(46341, 46341, 1.0, std::nullopt, std::nullopt),
+               std::invalid_argument);
+  EXPECT_THROW(make_grid(1 << 16, 1 << 16, 1.0, std::nullopt, std::nullopt),
+               std::invalid_argument);
+}
+
 TEST(LineTopologyTest, PathShape) {
   const Topology topology = make_line(6);
   EXPECT_EQ(topology.graph.edge_count(), 5u);
@@ -81,6 +108,32 @@ TEST(RingTopologyTest, CycleShape) {
   }
   EXPECT_EQ(topology.sink, 4);
   EXPECT_THROW(make_ring(2), std::invalid_argument);
+}
+
+TEST(LineTopologyTest, SourceSinkAtOppositeEndsWithSpacedPositions) {
+  const Topology topology = make_line(5, 2.0);
+  EXPECT_EQ(topology.source, 0);
+  EXPECT_EQ(topology.sink, 4);
+  EXPECT_EQ(hop_distance(topology.graph, topology.source, topology.sink), 4);
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_DOUBLE_EQ(topology.positions[static_cast<std::size_t>(n)].x,
+                     2.0 * n);
+    EXPECT_DOUBLE_EQ(topology.positions[static_cast<std::size_t>(n)].y, 0.0);
+  }
+}
+
+TEST(RingTopologyTest, SourceSinkMaximallySeparated) {
+  // Source at node 0, sink diametrically opposite (n/2), so the walk
+  // distance around the cycle is the same in both directions (odd rings
+  // differ by one hop).
+  for (int n : {3, 8, 9}) {
+    const Topology topology = make_ring(n);
+    EXPECT_EQ(topology.source, 0) << "n=" << n;
+    EXPECT_EQ(topology.sink, n / 2) << "n=" << n;
+    EXPECT_EQ(hop_distance(topology.graph, topology.source, topology.sink),
+              n / 2)
+        << "n=" << n;
+  }
 }
 
 TEST(UnitDiskTopologyTest, GeneratesConnectedGraph) {
@@ -106,6 +159,24 @@ TEST(UnitDiskTopologyTest, DeterministicForSeed) {
   EXPECT_EQ(a.graph.edge_count(), b.graph.edge_count());
   EXPECT_EQ(a.source, b.source);
   EXPECT_EQ(a.sink, b.sink);
+  // Placements are bit-identical for a fixed seed (the generators feed
+  // the deterministic sweep engine, so "roughly the same" is not enough)
+  // and every edge agrees, not just the count.
+  ASSERT_EQ(a.positions.size(), b.positions.size());
+  for (std::size_t i = 0; i < a.positions.size(); ++i) {
+    EXPECT_EQ(a.positions[i].x, b.positions[i].x) << i;
+    EXPECT_EQ(a.positions[i].y, b.positions[i].y) << i;
+  }
+  for (NodeId u = 0; u < params.node_count; ++u) {
+    for (NodeId v = 0; v < params.node_count; ++v) {
+      EXPECT_EQ(a.graph.has_edge(u, v), b.graph.has_edge(u, v))
+          << u << "-" << v;
+    }
+  }
+  // A different seed virtually never reproduces the same placement.
+  params.seed = 12;
+  const Topology c = make_random_unit_disk(params);
+  EXPECT_NE(a.positions[0].x, c.positions[0].x);
 }
 
 TEST(UnitDiskTopologyTest, ImpossibleRangeThrows) {
@@ -114,7 +185,16 @@ TEST(UnitDiskTopologyTest, ImpossibleRangeThrows) {
   params.area_side = 1000.0;
   params.radio_range = 1.0;  // almost surely disconnected
   params.max_attempts = 3;
-  EXPECT_THROW(make_random_unit_disk(params), std::runtime_error);
+  try {
+    (void)make_random_unit_disk(params);
+    FAIL() << "expected max_attempts exhaustion to throw";
+  } catch (const std::runtime_error& error) {
+    // The diagnostic names the attempt budget so the operator knows which
+    // knob to raise.
+    EXPECT_NE(std::string(error.what()).find("3 attempts"),
+              std::string::npos)
+        << error.what();
+  }
 }
 
 TEST(UnitDiskTopologyTest, InvalidParamsRejected) {
