@@ -84,6 +84,12 @@ struct RunResult {
   double control_messages_per_node = 0.0;  ///< HELLO+DISSEM+SEARCH+CHANGE
   double normal_messages_per_node = 0.0;
   int attacker_moves = 0;
+  /// Simulator event-loop telemetry (deterministic in (config, seed)):
+  /// every popped event, the deliveries dispatched, and the timers fired.
+  /// Feeds the per-cell perf block of the sweep JSON.
+  std::uint64_t events_executed = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t timer_fires = 0;
 };
 
 /// Aggregate over all runs of one configuration.
@@ -101,6 +107,11 @@ struct ExperimentResult {
   int weak_das_failures = 0;
   int strong_das_failures = 0;
   int runs = 0;
+  /// Event-loop telemetry summed over all runs (order-independent, so
+  /// aggregation stays bit-identical for any thread count).
+  std::uint64_t events_executed = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t timer_fires = 0;
 };
 
 /// Executes one seeded run. Deterministic in (config, seed).

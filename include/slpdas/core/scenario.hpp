@@ -81,7 +81,7 @@ class ScenarioRegistry {
 
 /// Registers the built-in paper scenarios (fig5a, fig5b, cmp_phantom,
 /// abl_noise, abl_attacker, abl_schedulers, abl_safety, table1,
-/// message_overhead, perf_sim, perf_verify). Idempotent.
+/// message_overhead, perf_sim, perf_verify, scal_grid). Idempotent.
 void register_builtin_scenarios(
     ScenarioRegistry& registry = ScenarioRegistry::global());
 

@@ -147,6 +147,13 @@ struct SweepCellResult {
   int runs = 0;
   ExperimentResult result;
   double wall_seconds = 0.0;
+  /// Whether the serialised cell carries the perf telemetry block
+  /// (events/deliveries/timer fires/events-per-second). run_sweep sets it
+  /// for real-clock runs only: under deterministic timing the block is
+  /// omitted entirely, so "slpdas.sweep.v2" documents stay byte-identical
+  /// to pre-telemetry output and the merge/stream bit-identity contract
+  /// is untouched.
+  bool record_perf = false;
 };
 
 struct SweepResult {
@@ -219,6 +226,16 @@ struct SweepJsonCell {
   int weak_das_failures = 0;
   int strong_das_failures = 0;
   double wall_seconds = 0.0;
+  /// Per-cell event-loop telemetry ("perf" object): present only in
+  /// real-clock (non---deterministic) documents — absent, the whole block
+  /// is skipped by the writer so deterministic output is byte-stable
+  /// across library versions. Event counts are deterministic; the
+  /// events-per-second rate divides them by the cell's wall clock.
+  bool has_perf = false;
+  std::uint64_t perf_events = 0;
+  std::uint64_t perf_deliveries = 0;
+  std::uint64_t perf_timer_fires = 0;
+  double perf_events_per_sec = 0.0;
 
   /// Coordinate value for axis `name`, or nullptr when absent.
   [[nodiscard]] const std::string* coordinate(std::string_view name) const;

@@ -29,11 +29,13 @@ struct NodeInfo {
 };
 
 struct HelloMessage final : sim::Message {
-  [[nodiscard]] const char* name() const noexcept override { return "HELLO"; }
+  static constexpr char kName[] = "HELLO";
+  [[nodiscard]] const char* name() const noexcept override { return kName; }
   [[nodiscard]] std::size_t wire_size() const noexcept override { return 4; }
 };
 
 struct DissemMessage final : sim::Message {
+  static constexpr char kName[] = "DISSEM";
   bool normal = true;      ///< paper's Normal flag; false = update phase
   wsn::NodeId sender = wsn::kNoNode;
   wsn::NodeId parent = wsn::kNoNode;  ///< sender's chosen parent (or kNoNode)
@@ -41,38 +43,41 @@ struct DissemMessage final : sim::Message {
   /// Receivers thereby learn (up to) their 2-hop neighbourhood.
   std::vector<std::pair<wsn::NodeId, NodeInfo>> ninfo;
 
-  [[nodiscard]] const char* name() const noexcept override { return "DISSEM"; }
+  [[nodiscard]] const char* name() const noexcept override { return kName; }
   [[nodiscard]] std::size_t wire_size() const noexcept override {
     return 6 + 6 * ninfo.size();
   }
 };
 
 struct SearchMessage final : sim::Message {
+  static constexpr char kName[] = "SEARCH";
   wsn::NodeId sender = wsn::kNoNode;
   wsn::NodeId target = wsn::kNoNode;  ///< the paper's aNode
   int dist = 0;                       ///< hops left to travel (SD countdown)
 
-  [[nodiscard]] const char* name() const noexcept override { return "SEARCH"; }
+  [[nodiscard]] const char* name() const noexcept override { return kName; }
   [[nodiscard]] std::size_t wire_size() const noexcept override { return 10; }
 };
 
 struct ChangeMessage final : sim::Message {
+  static constexpr char kName[] = "CHANGE";
   wsn::NodeId sender = wsn::kNoNode;
   wsn::NodeId target = wsn::kNoNode;  ///< the paper's aNode
   mac::SlotId new_slot = 0;           ///< the paper's nSlot
   int dist = 0;                       ///< decoy hops left (CL countdown)
 
-  [[nodiscard]] const char* name() const noexcept override { return "CHANGE"; }
+  [[nodiscard]] const char* name() const noexcept override { return kName; }
   [[nodiscard]] std::size_t wire_size() const noexcept override { return 14; }
 };
 
 struct NormalMessage final : sim::Message {
+  static constexpr char kName[] = "NORMAL";
   wsn::NodeId sender = wsn::kNoNode;
   /// Highest source sequence number aggregated into this broadcast;
   /// 0 = no source data seen yet (padding traffic).
   std::uint64_t aggregated_seq = 0;
 
-  [[nodiscard]] const char* name() const noexcept override { return "NORMAL"; }
+  [[nodiscard]] const char* name() const noexcept override { return kName; }
   [[nodiscard]] std::size_t wire_size() const noexcept override { return 16; }
 };
 

@@ -21,7 +21,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <set>
 #include <vector>
 
@@ -184,8 +183,20 @@ class ProtectionlessDas : public sim::Process {
   std::vector<wsn::NodeId> my_neighbors_;              // myN (discovery order)
   std::set<wsn::NodeId> potential_parents_;            // Npar
   std::set<wsn::NodeId> children_;                     // children
-  std::map<wsn::NodeId, std::vector<wsn::NodeId>> others_;  // Others[j]
-  std::map<wsn::NodeId, NodeInfo> ninfo_;              // Ninfo[]
+  std::vector<std::vector<wsn::NodeId>> others_;  // Others[j], dense by node
+  /// Ninfo[] as a dense per-node table (sized in on_start) — the merge in
+  /// handle_dissem runs millions of times per experiment, and an indexed
+  /// load beats a tree walk plus node allocation. Unwritten entries read
+  /// as NodeInfo{} (unassigned), exactly like an absent map key did.
+  std::vector<NodeInfo> ninfo_;
+  /// Node ids (never our own) whose ninfo_ entry is assigned, in first-
+  /// learned order. Assignment is monotone (slots never unassign), so each
+  /// node appears at most once; collision resolution scans this compact
+  /// list instead of the whole table.
+  std::vector<wsn::NodeId> known_assigned_;
+  /// HELLO beacons are immutable and payload-free: build one and
+  /// re-broadcast it every discovery period (no per-send allocation).
+  sim::MessagePtr hello_message_;
   int hop_ = -1;
   wsn::NodeId parent_ = wsn::kNoNode;
   mac::SlotId slot_ = mac::kNoSlot;

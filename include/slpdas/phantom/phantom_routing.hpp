@@ -42,17 +42,20 @@ struct PhantomConfig {
 
 /// Wire messages (local to this protocol).
 struct PhantomHello final : sim::Message {
-  [[nodiscard]] const char* name() const noexcept override { return "HELLO"; }
+  static constexpr char kName[] = "HELLO";
+  [[nodiscard]] const char* name() const noexcept override { return kName; }
   [[nodiscard]] std::size_t wire_size() const noexcept override { return 4; }
 };
 
 struct PhantomBeacon final : sim::Message {
+  static constexpr char kName[] = "BEACON";
   int hops_from_sink = 0;
-  [[nodiscard]] const char* name() const noexcept override { return "BEACON"; }
+  [[nodiscard]] const char* name() const noexcept override { return kName; }
   [[nodiscard]] std::size_t wire_size() const noexcept override { return 6; }
 };
 
 struct PhantomData final : sim::Message {
+  static constexpr char kName[] = "NORMAL";
   std::uint64_t seq = 0;
   int walk_ttl = 0;               ///< hops of random walk remaining
   bool flooding = false;          ///< true once the phantom starts the flood
@@ -60,7 +63,7 @@ struct PhantomData final : sim::Message {
   /// Name is NORMAL on purpose: this is the data traffic the eavesdropper
   /// traces, indistinguishable from any other payload (Section I:
   /// encrypted content, observable context).
-  [[nodiscard]] const char* name() const noexcept override { return "NORMAL"; }
+  [[nodiscard]] const char* name() const noexcept override { return kName; }
   [[nodiscard]] std::size_t wire_size() const noexcept override { return 18; }
 };
 
@@ -111,6 +114,9 @@ class PhantomRouting final : public sim::Process {
 
   int period_index_ = -1;
   std::vector<wsn::NodeId> neighbors_;  // discovery order
+  /// HELLO beacons are immutable and payload-free: build one, re-broadcast
+  /// it every discovery period (no per-send allocation).
+  sim::MessagePtr hello_message_;
   std::map<wsn::NodeId, int> neighbor_hops_;  // from overheard beacons
   int hops_from_sink_ = -1;
   bool beacon_pending_ = false;

@@ -2,7 +2,11 @@
 //
 // Protocol layers (das, slp, attacker probes) derive concrete message
 // structs from Message. The simulator treats messages as opaque immutable
-// payloads shared between all receivers of one broadcast.
+// payloads shared between all receivers of one broadcast: one staged
+// MessagePtr in the event queue's slot table serves every receiver's
+// delivery event, so a broadcast costs one shared_ptr copy total.
+// Immutability also means a payload-free message (e.g. a HELLO beacon)
+// may be built once and re-broadcast for the process's lifetime.
 #pragma once
 
 #include <cstddef>

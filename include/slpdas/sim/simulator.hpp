@@ -9,6 +9,13 @@
 // Determinism: all randomness flows through one seeded Rng, events tie-break
 // by insertion order, and neighbour iteration order is sorted, so a run is
 // fully reproducible from (graph, protocol, seed).
+//
+// Performance: events are typed values (see event_queue.hpp), so the hot
+// path — delivery and timer expiry — runs with zero per-event heap
+// allocation. Timer cancellation state lives in a dense per-node
+// generation table here, checked when an expiry pops, and the simulator
+// counts events/deliveries/timer-fires for the perf telemetry the sweep
+// JSON reports.
 #pragma once
 
 #include <cstdint>
@@ -59,10 +66,13 @@ class Process {
   void broadcast(MessagePtr message);
 
   /// Arms (or re-arms) the named timer to fire `delay` from now. Re-arming
-  /// supersedes any pending expiry of the same timer.
+  /// supersedes any pending expiry of the same timer. Timer ids must be
+  /// non-negative (they index the simulator's dense per-node generation
+  /// table); small consecutive ids cost O(1) memory per node.
   void set_timer(int timer_id, SimTime delay);
 
-  /// Disarms the named timer; a no-op if not pending.
+  /// Disarms the named timer. A no-op if not pending — in particular,
+  /// cancelling a timer this process never armed allocates nothing.
   void cancel_timer(int timer_id);
 
   [[nodiscard]] SimTime now() const;
@@ -75,7 +85,6 @@ class Process {
 
   Simulator* simulator_ = nullptr;
   wsn::NodeId id_ = wsn::kNoNode;
-  std::unordered_map<int, std::uint64_t> timer_generation_;
 };
 
 /// Per-node traffic counters used for the message-overhead experiment.
@@ -134,8 +143,18 @@ class Simulator {
     return sends_by_type_;
   }
   [[nodiscard]] std::uint64_t total_sent() const noexcept { return total_sent_; }
+  /// Every popped event, including stale (re-armed or cancelled) timer
+  /// expiries that were skipped at pop time.
   [[nodiscard]] std::uint64_t events_executed() const noexcept {
     return events_executed_;
+  }
+  /// Delivery events executed (receptions dispatched to on_message).
+  [[nodiscard]] std::uint64_t deliveries_executed() const noexcept {
+    return deliveries_executed_;
+  }
+  /// Timer expiries whose generation was still current (on_timer calls).
+  [[nodiscard]] std::uint64_t timers_fired() const noexcept {
+    return timers_fired_;
   }
 
   /// One-way propagation + processing latency applied to every delivery.
@@ -149,6 +168,14 @@ class Simulator {
   friend class Process;
 
   void do_broadcast(wsn::NodeId from, MessagePtr message);
+  /// Arms (or re-arms) timer `timer_id` of `node`: bumps the generation in
+  /// the dense per-node table and pushes one POD timer event. Throws
+  /// std::invalid_argument on a negative timer id or delay, and
+  /// std::overflow_error when now() + delay overflows SimTime.
+  void arm_timer(wsn::NodeId node, int timer_id, SimTime delay);
+  /// Invalidates any pending expiry of timer `timer_id` of `node`. A no-op
+  /// for a timer that was never armed (no generation entry is created).
+  void disarm_timer(wsn::NodeId node, int timer_id) noexcept;
 
   const wsn::Graph& graph_;
   std::unique_ptr<RadioModel> radio_;
@@ -159,9 +186,17 @@ class Simulator {
   bool started_ = false;
   bool stopped_ = false;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t deliveries_executed_ = 0;
+  std::uint64_t timers_fired_ = 0;
   std::uint64_t total_sent_ = 0;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<TrafficCounters> traffic_;
+  /// timer_generations_[node][timer_id] — current arming generation of
+  /// each timer, grown on first arm of an id and checked when an expiry
+  /// pops. Dense vectors (not per-process hash maps): the set of timer
+  /// ids a protocol uses is small and consecutive, so the check is one
+  /// indexed load on the hot path.
+  std::vector<std::vector<std::uint64_t>> timer_generations_;
   std::vector<TransmissionObserver*> observers_;
   std::unordered_map<std::string, std::uint64_t> sends_by_type_;
 };

@@ -236,6 +236,9 @@ RunResult run_single(const ExperimentConfig& config, std::uint64_t seed) {
         static_cast<double>(delivered) / static_cast<double>(generated);
     result.delivery_latency_s = latency_s;
   }
+  result.events_executed = simulator.events_executed();
+  result.deliveries = simulator.deliveries_executed();
+  result.timer_fires = simulator.timers_fired();
   return result;
 }
 
@@ -262,6 +265,9 @@ ExperimentResult aggregate_runs(const std::vector<RunResult>& runs,
       aggregate.weak_das_failures += run.weak_das_ok ? 0 : 1;
       aggregate.strong_das_failures += run.strong_das_ok ? 0 : 1;
     }
+    aggregate.events_executed += run.events_executed;
+    aggregate.deliveries += run.deliveries;
+    aggregate.timer_fires += run.timer_fires;
   }
   return aggregate;
 }

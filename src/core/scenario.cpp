@@ -59,6 +59,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   scenarios::register_ablations(registry);
   scenarios::register_tables(registry);
   scenarios::register_perf(registry);
+  scenarios::register_scaling(registry);
 }
 
 namespace {

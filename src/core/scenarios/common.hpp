@@ -22,6 +22,7 @@ void register_comparison(ScenarioRegistry& registry);
 void register_ablations(ScenarioRegistry& registry);
 void register_tables(ScenarioRegistry& registry);
 void register_perf(ScenarioRegistry& registry);
+void register_scaling(ScenarioRegistry& registry);
 
 /// A "side" axis value: label fragment is the decimal side, the mutator
 /// installs the matching square grid.

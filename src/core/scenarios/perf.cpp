@@ -51,9 +51,9 @@ std::vector<SweepCell> make_perf_sim_cells(const ScenarioOptions& options) {
 int report_perf_sim(std::ostream& out, const SweepJson& document,
                     const ScenarioOptions&) {
   using metrics::Table;
-  out << "Simulator throughput: full protocol runs per second per grid "
-         "cell\n\n";
-  Table table({"cell", "runs", "wall", "runs/s"});
+  out << "Simulator throughput: protocol runs and simulator events per "
+         "second per grid cell\n\n";
+  Table table({"cell", "runs", "wall", "runs/s", "events", "Mev/s"});
   for (const SweepJsonCell& cell : document.cells) {
     table.add_row(
         {cell.label, std::to_string(cell.runs),
@@ -61,13 +61,19 @@ int report_perf_sim(std::ostream& out, const SweepJson& document,
                                  : "n/a",
          cell.wall_seconds > 0.0
              ? Table::cell(cell.runs / cell.wall_seconds, 2)
+             : "n/a",
+         cell.has_perf ? std::to_string(cell.perf_events) : "n/a",
+         cell.has_perf && cell.perf_events_per_sec > 0.0
+             ? Table::cell(cell.perf_events_per_sec / 1e6, 2)
              : "n/a"});
   }
   table.print(out);
   if (document.wall_seconds > 0.0) {
     std::uint64_t total_runs = 0;
+    std::uint64_t total_events = 0;
     for (const SweepJsonCell& cell : document.cells) {
       total_runs += static_cast<std::uint64_t>(cell.runs);
+      total_events += cell.perf_events;
     }
     out << "\noverall: " << total_runs << " runs in "
         << Table::cell(document.wall_seconds, 2) << "s on "
@@ -75,12 +81,21 @@ int report_perf_sim(std::ostream& out, const SweepJson& document,
         << Table::cell(static_cast<double>(total_runs) /
                            document.wall_seconds,
                        2)
-        << " runs/s\n";
+        << " runs/s";
+    if (total_events > 0) {
+      out << "\nevents/sec: " << total_events << " events in "
+          << Table::cell(document.wall_seconds, 2) << "s = "
+          << Table::cell(static_cast<double>(total_events) /
+                             document.wall_seconds / 1e6,
+                         2)
+          << " M events/s";
+    }
+    out << '\n';
   }
   out << "\nNote: cells share one thread pool, so per-cell wall clocks "
          "overlap; the overall line is the honest throughput figure. Run "
          "with --deterministic to zero timings for reproducible JSON "
-         "instead.\n";
+         "instead (which also omits the per-cell perf blocks).\n";
   return 0;
 }
 
@@ -195,7 +210,7 @@ void register_perf(ScenarioRegistry& registry) {
     Scenario scenario;
     scenario.name = "perf_sim";
     scenario.reference = "DESIGN.md section 2 (simulator substrate)";
-    scenario.summary = "simulator throughput: full runs per second";
+    scenario.summary = "simulator throughput: runs/sec and events/sec";
     scenario.default_runs = 20;
     scenario.default_seed = 101;
     scenario.make_cells = make_perf_sim_cells;

@@ -265,6 +265,10 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
           out.result = aggregate_runs(state.runs, cell.config.check_schedules);
           out.wall_seconds =
               options.deterministic_timing ? 0.0 : state.wall_seconds;
+          // Perf telemetry rides along only when wall clocks are real;
+          // deterministic documents stay byte-identical to the
+          // pre-telemetry schema.
+          out.record_perf = !options.deterministic_timing;
           // Compose the stream record off-stream and off-lock; a cell with
           // a failed run is never recorded (a resume must not trust it).
           std::string record;
@@ -443,6 +447,16 @@ SweepJsonCell to_json_cell(const SweepCellResult& cell) {
   out.weak_das_failures = r.weak_das_failures;
   out.strong_das_failures = r.strong_das_failures;
   out.wall_seconds = cell.wall_seconds;
+  out.has_perf = cell.record_perf;
+  if (out.has_perf) {
+    out.perf_events = r.events_executed;
+    out.perf_deliveries = r.deliveries;
+    out.perf_timer_fires = r.timer_fires;
+    out.perf_events_per_sec =
+        cell.wall_seconds > 0.0
+            ? static_cast<double>(r.events_executed) / cell.wall_seconds
+            : 0.0;
+  }
   return out;
 }
 
@@ -498,6 +512,16 @@ void write_cell_fields(std::ostream& out, const SweepJsonCell& cell,
       << "\"strong_das_failures\": " << cell.strong_das_failures << sep
       << "\"wall_seconds\": ";
   write_double(out, cell.wall_seconds);
+  if (cell.has_perf) {
+    // Real-clock runs only: deterministic documents omit the block so
+    // their bytes stay invariant (merge/stream rely on that).
+    out << sep << "\"perf\": {\"events\": " << cell.perf_events
+        << ", \"deliveries\": " << cell.perf_deliveries
+        << ", \"timer_fires\": " << cell.perf_timer_fires
+        << ", \"events_per_sec\": ";
+    write_double(out, cell.perf_events_per_sec);
+    out << '}';
+  }
 }
 
 }  // namespace
@@ -949,6 +973,15 @@ SweepJsonCell parse_cell(const JsonParser::Value& cell_value, bool v2,
   cell.strong_das_failures =
       static_cast<int>(cell_value.at("strong_das_failures").as_number());
   cell.wall_seconds = cell_value.at("wall_seconds").as_number();
+  if (const JsonParser::Value* perf = cell_value.find("perf")) {
+    // Optional: present only in real-clock documents (never under
+    // --deterministic), and in no legacy document at all.
+    cell.has_perf = true;
+    cell.perf_events = perf->at("events").as_u64();
+    cell.perf_deliveries = perf->at("deliveries").as_u64();
+    cell.perf_timer_fires = perf->at("timer_fires").as_u64();
+    cell.perf_events_per_sec = perf->at("events_per_sec").as_number();
+  }
   return cell;
 }
 

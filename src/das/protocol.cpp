@@ -43,6 +43,8 @@ ProtectionlessDas::ProtectionlessDas(const DasConfig& config, wsn::NodeId sink,
 }
 
 void ProtectionlessDas::on_start() {
+  ninfo_.resize(static_cast<std::size_t>(graph().node_count()));
+  others_.resize(static_cast<std::size_t>(graph().node_count()));
   set_timer(kPeriodTimer, 0);
 }
 
@@ -98,7 +100,10 @@ void ProtectionlessDas::on_timer(int timer_id) {
       break;
     }
     case kHelloTimer:
-      broadcast(std::make_shared<HelloMessage>());
+      if (!hello_message_) {
+        hello_message_ = std::make_shared<HelloMessage>();
+      }
+      broadcast(hello_message_);
       break;
     case kDissemSendTimer:
       send_dissem();
@@ -116,12 +121,17 @@ void ProtectionlessDas::on_timer(int timer_id) {
 
 void ProtectionlessDas::on_message(wsn::NodeId from,
                                    const sim::Message& message) {
-  if (dynamic_cast<const HelloMessage*>(&message) != nullptr) {
+  // Dispatch on per-class name-pointer identity (every protocol message
+  // returns its kName array from name()): one virtual call plus pointer
+  // compares, replacing a dynamic_cast chain on the hottest path of the
+  // whole simulation. Branches ordered by delivery frequency.
+  const char* const name = message.name();
+  if (name == NormalMessage::kName) {
+    handle_normal(from, static_cast<const NormalMessage&>(message));
+  } else if (name == DissemMessage::kName) {
+    handle_dissem(from, static_cast<const DissemMessage&>(message));
+  } else if (name == HelloMessage::kName) {
     handle_hello(from);
-  } else if (const auto* dissem = dynamic_cast<const DissemMessage*>(&message)) {
-    handle_dissem(from, *dissem);
-  } else if (const auto* normal = dynamic_cast<const NormalMessage*>(&message)) {
-    handle_normal(from, *normal);
   } else {
     on_other_message(from, message);
   }
@@ -150,11 +160,17 @@ void ProtectionlessDas::handle_dissem(wsn::NodeId from,
     if (!info.assigned()) {
       continue;
     }
-    auto [it, inserted] = ninfo_.try_emplace(node, info);
-    if (inserted) {
+    NodeInfo& entry = ninfo_[node];
+    if (!entry.assigned()) {
+      // First assignment we hear of for `node` — assignment is monotone,
+      // so this is also the one moment it joins the compact scan list.
+      if (node != id()) {
+        known_assigned_.push_back(node);
+      }
+      entry = info;
       learned_something = true;
-    } else if (!it->second.assigned() || info.slot < it->second.slot) {
-      it->second = info;
+    } else if (info.slot < entry.slot) {
+      entry = info;
       learned_something = true;
     }
   }
@@ -235,18 +251,18 @@ void ProtectionlessDas::run_process_action() {
   if (!slot_assigned() && !is_sink() && !potential_parents_.empty()) {
     int best_hop = std::numeric_limits<int>::max();
     for (wsn::NodeId candidate : potential_parents_) {
-      best_hop = std::min(best_hop, ninfo_.at(candidate).hop);
+      best_hop = std::min(best_hop, ninfo_[candidate].hop);
     }
     wsn::NodeId chosen = wsn::kNoNode;
     for (wsn::NodeId candidate : potential_parents_) {
-      if (ninfo_.at(candidate).hop == best_hop) {
+      if (ninfo_[candidate].hop == best_hop) {
         chosen = candidate;  // sets iterate ascending: min id wins
         break;
       }
     }
     hop_ = best_hop + 1;
     parent_ = chosen;
-    slot_ = ninfo_.at(chosen).slot - rank_in(id(), others_[chosen]) - 1;
+    slot_ = ninfo_[chosen].slot - rank_in(id(), others_[chosen]) - 1;
     ninfo_[id()] = NodeInfo{hop_, slot_};
     request_dissemination();
   }
@@ -255,10 +271,9 @@ void ProtectionlessDas::run_process_action() {
     // known shortest-path neighbour (hop == ours - 1), not only the parent.
     mac::SlotId upper = std::numeric_limits<mac::SlotId>::max();
     for (wsn::NodeId neighbor : my_neighbors_) {
-      const auto it = ninfo_.find(neighbor);
-      if (it != ninfo_.end() && it->second.assigned() &&
-          it->second.hop == hop_ - 1) {
-        upper = std::min(upper, it->second.slot);
+      const NodeInfo& info = ninfo_[neighbor];
+      if (info.assigned() && info.hop == hop_ - 1) {
+        upper = std::min(upper, info.slot);
       }
     }
     if (upper != std::numeric_limits<mac::SlotId>::max() && slot_ >= upper) {
@@ -281,8 +296,9 @@ void ProtectionlessDas::resolve_collisions() {
   // which explodes repair time after Phase 3 drops a decoy subtree into a
   // densely occupied slot band.
   bool we_lose = false;
-  for (const auto& [node, info] : ninfo_) {
-    if (node != id() && info.assigned() && info.slot == slot_ &&
+  for (const wsn::NodeId node : known_assigned_) {
+    const NodeInfo& info = ninfo_[node];
+    if (info.slot == slot_ &&
         (hop_ > info.hop || (hop_ == info.hop && id() > node))) {
       we_lose = true;
       break;
@@ -292,10 +308,8 @@ void ProtectionlessDas::resolve_collisions() {
     return;
   }
   std::set<mac::SlotId> taken;
-  for (const auto& [node, info] : ninfo_) {
-    if (node != id() && info.assigned()) {
-      taken.insert(info.slot);
-    }
+  for (const wsn::NodeId node : known_assigned_) {
+    taken.insert(ninfo_[node].slot);
   }
   mac::SlotId candidate = slot_ - 1;
   while (taken.contains(candidate)) {
@@ -313,8 +327,12 @@ void ProtectionlessDas::adopt_slot(mac::SlotId new_slot, bool update_children) {
 }
 
 NodeInfo ProtectionlessDas::info_of(wsn::NodeId n) const {
-  const auto it = ninfo_.find(n);
-  return it == ninfo_.end() ? NodeInfo{} : it->second;
+  // Total over ALL ids, like the map lookup it replaced: out-of-range ids
+  // (kNoNode from an unset parent, say) read as "unknown", not as UB.
+  if (n < 0 || static_cast<std::size_t>(n) >= ninfo_.size()) {
+    return NodeInfo{};
+  }
+  return ninfo_[n];
 }
 
 mac::SlotId ProtectionlessDas::min_neighborhood_slot() const {
@@ -340,6 +358,7 @@ void ProtectionlessDas::send_dissem() {
   message->normal = !update_pending_;
   message->sender = id();
   message->parent = parent_;
+  message->ninfo.reserve(1 + my_neighbors_.size());
   message->ninfo.emplace_back(id(), NodeInfo{hop_, slot_});
   for (wsn::NodeId neighbor : my_neighbors_) {
     message->ninfo.emplace_back(neighbor, info_of(neighbor));

@@ -51,7 +51,10 @@ void PhantomRouting::on_timer(int timer_id) {
       break;
     }
     case kHelloTimer:
-      broadcast(std::make_shared<PhantomHello>());
+      if (!hello_message_) {
+        hello_message_ = std::make_shared<PhantomHello>();
+      }
+      broadcast(hello_message_);
       break;
     case kBeaconTimer:
       if (beacon_pending_) {
@@ -91,14 +94,17 @@ void PhantomRouting::schedule_forward(PhantomData next) {
 }
 
 void PhantomRouting::on_message(wsn::NodeId from, const sim::Message& message) {
-  if (dynamic_cast<const PhantomHello*>(&message) != nullptr) {
+  // Name-pointer dispatch, as in ProtectionlessDas::on_message.
+  const char* const name = message.name();
+  if (name == PhantomHello::kName) {
     if (std::find(neighbors_.begin(), neighbors_.end(), from) ==
         neighbors_.end()) {
       neighbors_.push_back(from);
     }
     return;
   }
-  if (const auto* beacon = dynamic_cast<const PhantomBeacon*>(&message)) {
+  if (name == PhantomBeacon::kName) {
+    const auto* beacon = static_cast<const PhantomBeacon*>(&message);
     neighbor_hops_[from] = beacon->hops_from_sink;
     if (hops_from_sink_ == -1 ||
         beacon->hops_from_sink + 1 < hops_from_sink_) {
@@ -110,7 +116,8 @@ void PhantomRouting::on_message(wsn::NodeId from, const sim::Message& message) {
     }
     return;
   }
-  if (const auto* data = dynamic_cast<const PhantomData*>(&message)) {
+  if (name == PhantomData::kName) {
+    const auto* data = static_cast<const PhantomData*>(&message);
     // Walk-phase messages are addressed; flood messages are for everyone.
     if (!data->flooding && data->walk_target != id()) {
       return;

@@ -1,5 +1,6 @@
 #include "slpdas/sim/simulator.hpp"
 
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -24,18 +25,13 @@ void Process::set_timer(int timer_id, SimTime delay) {
   if (delay < 0) {
     throw std::invalid_argument("Process::set_timer: negative delay");
   }
-  const std::uint64_t generation = ++timer_generation_[timer_id];
-  simulator_->call_after(delay, [this, timer_id, generation] {
-    const auto it = timer_generation_.find(timer_id);
-    if (it != timer_generation_.end() && it->second == generation) {
-      on_timer(timer_id);
-    }
-  });
+  simulator_->arm_timer(id_, timer_id, delay);
 }
 
 void Process::cancel_timer(int timer_id) {
-  // Bumping the generation invalidates any pending expiry closure.
-  ++timer_generation_[timer_id];
+  if (simulator_ != nullptr) {
+    simulator_->disarm_timer(id_, timer_id);
+  }
 }
 
 SimTime Process::now() const { return simulator_->now(); }
@@ -54,6 +50,7 @@ Simulator::Simulator(const wsn::Graph& graph, std::unique_ptr<RadioModel> radio,
   }
   processes_.resize(static_cast<std::size_t>(graph.node_count()));
   traffic_.resize(static_cast<std::size_t>(graph.node_count()));
+  timer_generations_.resize(static_cast<std::size_t>(graph.node_count()));
 }
 
 void Simulator::add_process(wsn::NodeId node, std::unique_ptr<Process> process) {
@@ -83,11 +80,42 @@ void Simulator::call_at(SimTime at, std::function<void()> action) {
   if (at < now_) {
     throw std::invalid_argument("Simulator::call_at: time in the past");
   }
-  queue_.push(at, std::move(action));
+  queue_.push_control(at, std::move(action));
 }
 
 void Simulator::call_after(SimTime delay, std::function<void()> action) {
+  if (delay > 0 && now_ > std::numeric_limits<SimTime>::max() - delay) {
+    // Unchecked, now_ + delay would wrap negative (signed overflow is UB)
+    // and sail PAST the call_at past-time check as a bogus early event.
+    throw std::overflow_error("Simulator::call_after: delay overflows SimTime");
+  }
   call_at(now_ + delay, std::move(action));
+}
+
+void Simulator::arm_timer(wsn::NodeId node, int timer_id, SimTime delay) {
+  if (timer_id < 0) {
+    throw std::invalid_argument("Process::set_timer: negative timer id");
+  }
+  if (delay > 0 && now_ > std::numeric_limits<SimTime>::max() - delay) {
+    throw std::overflow_error("Process::set_timer: expiry overflows SimTime");
+  }
+  auto& generations = timer_generations_[static_cast<std::size_t>(node)];
+  if (static_cast<std::size_t>(timer_id) >= generations.size()) {
+    generations.resize(static_cast<std::size_t>(timer_id) + 1, 0);
+  }
+  const std::uint64_t generation =
+      ++generations[static_cast<std::size_t>(timer_id)];
+  queue_.push_timer(now_ + delay, node, timer_id, generation);
+}
+
+void Simulator::disarm_timer(wsn::NodeId node, int timer_id) noexcept {
+  auto& generations = timer_generations_[static_cast<std::size_t>(node)];
+  if (timer_id >= 0 && static_cast<std::size_t>(timer_id) < generations.size()) {
+    // Bumping the generation invalidates any pending expiry. A timer id
+    // past the table's end was never armed: nothing to invalidate, and
+    // deliberately nothing inserted either.
+    ++generations[static_cast<std::size_t>(timer_id)];
+  }
 }
 
 void Simulator::set_propagation_delay(SimTime delay) {
@@ -129,18 +157,21 @@ void Simulator::do_broadcast(wsn::NodeId from, MessagePtr message) {
     observer->on_transmission(from, *message, now_);
   }
 
+  // One staged payload shared by every receiver; each push is one POD
+  // heap entry — no per-receiver closure, no per-receiver refcount churn.
+  // The slot is staged lazily so an all-lost broadcast stages nothing,
+  // and radio decisions stay in neighbour order (the rng draw order the
+  // determinism contract pins).
   const SimTime arrival = now_ + propagation_delay_;
+  std::uint32_t slot = EventQueue::kNoSlot;
   for (wsn::NodeId to : graph_.neighbors(from)) {
     if (!radio_->delivered(from, to, now_, rng_)) {
       continue;
     }
-    queue_.push(arrival, [this, from, to, message] {
-      ++traffic_[static_cast<std::size_t>(to)].received;
-      auto& receiver = processes_[static_cast<std::size_t>(to)];
-      if (receiver) {
-        receiver->on_message(from, *message);
-      }
-    });
+    if (slot == EventQueue::kNoSlot) {
+      slot = queue_.stage_message(std::move(message));
+    }
+    queue_.push_delivery(arrival, from, to, slot);
   }
 }
 
@@ -156,8 +187,41 @@ bool Simulator::step(SimTime end) {
   if (stopped_ || queue_.empty() || queue_.next_time() > end) {
     return false;
   }
-  auto action = queue_.pop(now_);
-  action();
+  const Event event = queue_.pop(now_);
+  switch (event.kind()) {
+    case EventKind::kDelivery: {
+      const auto to = static_cast<std::size_t>(event.delivery.to);
+      ++traffic_[to].received;
+      if (auto& receiver = processes_[to]) {
+        receiver->on_message(event.delivery.from,
+                             queue_.message(event.delivery.message_slot));
+      }
+      queue_.release_message(event.delivery.message_slot);
+      ++deliveries_executed_;
+      break;
+    }
+    case EventKind::kTimer: {
+      const auto& generations =
+          timer_generations_[static_cast<std::size_t>(event.timer.node)];
+      const auto timer_id = static_cast<std::size_t>(event.timer.timer_id);
+      // A stale generation means the timer was re-armed or cancelled after
+      // this expiry was pushed: skip it. It still counts as an executed
+      // event (exactly as the old closure-based no-op expiry did).
+      if (timer_id < generations.size() &&
+          generations[timer_id] == event.timer.generation) {
+        ++timers_fired_;
+        processes_[static_cast<std::size_t>(event.timer.node)]->on_timer(
+            event.timer.timer_id);
+      }
+      break;
+    }
+    case EventKind::kControl: {
+      const EventQueue::Action action =
+          queue_.take_control(event.control.callback_slot);
+      action();
+      break;
+    }
+  }
   ++events_executed_;
   return true;
 }

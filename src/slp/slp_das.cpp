@@ -49,10 +49,13 @@ void SlpDas::on_timer(int timer_id) {
 }
 
 void SlpDas::on_other_message(wsn::NodeId from, const sim::Message& message) {
-  if (const auto* search = dynamic_cast<const SearchMessage*>(&message)) {
-    handle_search(from, *search);
-  } else if (const auto* change = dynamic_cast<const ChangeMessage*>(&message)) {
-    handle_change(from, *change);
+  // Same name-pointer dispatch as the base protocol (see
+  // ProtectionlessDas::on_message).
+  const char* const name = message.name();
+  if (name == SearchMessage::kName) {
+    handle_search(from, static_cast<const SearchMessage&>(message));
+  } else if (name == ChangeMessage::kName) {
+    handle_change(from, static_cast<const ChangeMessage&>(message));
   }
 }
 

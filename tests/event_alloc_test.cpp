@@ -1,0 +1,142 @@
+// Locks in the typed event core's headline property: once a simulation
+// reaches steady state, executing delivery and timer events performs ZERO
+// heap allocations. The test binary replaces the global allocation
+// functions with counting wrappers and runs a ping-pong network through
+// tens of thousands of events after a warm-up phase (which is allowed to
+// allocate: vectors grow to their high-water marks, counters intern their
+// keys). Any closure, map node or refcount block sneaking back onto the
+// hot path turns the delta positive and fails loudly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "slpdas/sim/simulator.hpp"
+#include "slpdas/wsn/topology.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+// Counting replacements for the global allocation functions. Only this
+// test binary links them; gtest and the warm-up phase allocate freely —
+// the assertion is on the DELTA across the measured window.
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* pointer = std::malloc(size != 0 ? size : 1)) {
+    return pointer;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const auto align = static_cast<std::size_t>(alignment);
+  const std::size_t rounded = (size != 0 ? size + align - 1 : align) &
+                              ~(align - 1);
+  if (void* pointer = std::aligned_alloc(align, rounded)) {
+    return pointer;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return ::operator new(size, alignment);
+}
+void operator delete(void* pointer) noexcept { std::free(pointer); }
+void operator delete[](void* pointer) noexcept { std::free(pointer); }
+void operator delete(void* pointer, std::size_t) noexcept {
+  std::free(pointer);
+}
+void operator delete[](void* pointer, std::size_t) noexcept {
+  std::free(pointer);
+}
+void operator delete(void* pointer, const std::nothrow_t&) noexcept {
+  std::free(pointer);
+}
+void operator delete[](void* pointer, const std::nothrow_t&) noexcept {
+  std::free(pointer);
+}
+void operator delete(void* pointer, std::align_val_t) noexcept {
+  std::free(pointer);
+}
+void operator delete[](void* pointer, std::align_val_t) noexcept {
+  std::free(pointer);
+}
+void operator delete(void* pointer, std::size_t, std::align_val_t) noexcept {
+  std::free(pointer);
+}
+void operator delete[](void* pointer, std::size_t, std::align_val_t) noexcept {
+  std::free(pointer);
+}
+
+namespace slpdas::sim {
+namespace {
+
+struct PingMessage final : Message {
+  [[nodiscard]] const char* name() const noexcept override { return "PING"; }
+};
+
+/// Broadcasts one cached immutable message per timer tick, forever. The
+/// handler itself allocates nothing, so every allocation observed in
+/// steady state would come from the event machinery.
+class PingProcess final : public Process {
+ public:
+  void on_start() override {
+    message_ = std::make_shared<PingMessage>();
+    set_timer(1, kMillisecond);
+  }
+  void on_timer(int) override {
+    broadcast(message_);
+    set_timer(1, kMillisecond);
+  }
+  void on_message(wsn::NodeId, const Message&) override { ++received_; }
+
+ private:
+  MessagePtr message_;
+  std::uint64_t received_ = 0;
+};
+
+TEST(EventAllocTest, SteadyStateDeliveryAndTimerPathAllocatesNothing) {
+  const wsn::Topology line = wsn::make_line(3);
+  Simulator simulator(line.graph, make_ideal_radio(), 1);
+  for (wsn::NodeId n = 0; n < 3; ++n) {
+    simulator.add_process(n, std::make_unique<PingProcess>());
+  }
+
+  // Warm-up: heap vector, slot tables, traffic counters and the per-type
+  // send map all reach their steady sizes.
+  simulator.run_until(100 * kMillisecond);
+  const std::uint64_t events_before = simulator.events_executed();
+  const std::uint64_t allocations_before =
+      g_allocations.load(std::memory_order_relaxed);
+
+  simulator.run_until(10 * kSecond);
+
+  const std::uint64_t events_executed =
+      simulator.events_executed() - events_before;
+  const std::uint64_t allocations =
+      g_allocations.load(std::memory_order_relaxed) - allocations_before;
+  // ~3 timer fires + ~4 deliveries per millisecond for ten seconds.
+  EXPECT_GT(events_executed, 50000u);
+  EXPECT_GT(simulator.deliveries_executed(), 0u);
+  EXPECT_GT(simulator.timers_fired(), 0u);
+  EXPECT_EQ(allocations, 0u)
+      << "the delivery/timer hot path allocated " << allocations
+      << " times across " << events_executed << " events";
+}
+
+}  // namespace
+}  // namespace slpdas::sim

@@ -1,31 +1,60 @@
-// Tests for the deterministic event queue: time ordering plus FIFO
-// tie-breaking, the property that makes runs reproducible.
+// Tests for the deterministic typed event queue: time ordering plus FIFO
+// tie-breaking across all three event kinds (the property that makes runs
+// reproducible), shared-message staging/release, and the simulator-level
+// cancelled-timer skip at pop time.
 #include "slpdas/sim/event_queue.hpp"
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
+
+#include "slpdas/sim/simulator.hpp"
+#include "slpdas/wsn/topology.hpp"
 
 namespace slpdas::sim {
 namespace {
+
+struct TestMessage final : Message {
+  [[nodiscard]] const char* name() const noexcept override { return "TEST"; }
+};
+
+/// Pops every event, returning kinds in pop order and releasing whatever
+/// resources the events hold.
+std::vector<EventKind> drain(EventQueue& queue, SimTime& now) {
+  std::vector<EventKind> kinds;
+  while (!queue.empty()) {
+    const Event event = queue.pop(now);
+    kinds.push_back(event.kind());
+    switch (event.kind()) {
+      case EventKind::kDelivery:
+        queue.release_message(event.delivery.message_slot);
+        break;
+      case EventKind::kControl:
+        queue.take_control(event.control.callback_slot)();
+        break;
+      case EventKind::kTimer:
+        break;
+    }
+  }
+  return kinds;
+}
 
 TEST(EventQueueTest, StartsEmpty) {
   EventQueue queue;
   EXPECT_TRUE(queue.empty());
   EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.staged_message_count(), 0u);
 }
 
 TEST(EventQueueTest, PopsInTimeOrder) {
   EventQueue queue;
   std::vector<int> order;
-  queue.push(30, [&] { order.push_back(3); });
-  queue.push(10, [&] { order.push_back(1); });
-  queue.push(20, [&] { order.push_back(2); });
+  queue.push_control(30, [&] { order.push_back(3); });
+  queue.push_control(10, [&] { order.push_back(1); });
+  queue.push_control(20, [&] { order.push_back(2); });
   SimTime now = 0;
-  while (!queue.empty()) {
-    auto action = queue.pop(now);
-    action();
-  }
+  drain(queue, now);
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
   EXPECT_EQ(now, 30);
 }
@@ -34,44 +63,150 @@ TEST(EventQueueTest, EqualTimesFireInInsertionOrder) {
   EventQueue queue;
   std::vector<int> order;
   for (int i = 0; i < 50; ++i) {
-    queue.push(5, [&order, i] { order.push_back(i); });
+    queue.push_control(5, [&order, i] { order.push_back(i); });
   }
   SimTime now = 0;
-  while (!queue.empty()) {
-    queue.pop(now)();
-  }
+  drain(queue, now);
   for (int i = 0; i < 50; ++i) {
     EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
   }
 }
 
+TEST(EventQueueTest, EqualTimesTieBreakAcrossKindsByInsertionOrder) {
+  // A delivery, a timer and a control pushed at one timestamp pop in push
+  // order — the cross-kind FIFO guarantee the protocol stack relies on
+  // (e.g. a reception and a period-boundary timer landing on the same
+  // microsecond must not reorder between runs or refactors).
+  EventQueue queue;
+  const std::uint32_t slot = queue.stage_message(std::make_shared<TestMessage>());
+  queue.push_delivery(7, /*from=*/0, /*to=*/1, slot);
+  queue.push_timer(7, /*node=*/1, /*timer_id=*/4, /*generation=*/1);
+  queue.push_control(7, [] {});
+  queue.push_delivery(7, /*from=*/0, /*to=*/2, slot);
+  queue.push_timer(7, /*node=*/2, /*timer_id=*/4, /*generation=*/1);
+
+  SimTime now = 0;
+  const std::vector<EventKind> kinds = drain(queue, now);
+  EXPECT_EQ(kinds,
+            (std::vector<EventKind>{EventKind::kDelivery, EventKind::kTimer,
+                                    EventKind::kControl, EventKind::kDelivery,
+                                    EventKind::kTimer}));
+  EXPECT_EQ(now, 7);
+  EXPECT_EQ(queue.staged_message_count(), 0u);
+}
+
+TEST(EventQueueTest, DeliveriesShareOneStagedMessage) {
+  EventQueue queue;
+  auto message = std::make_shared<TestMessage>();
+  const std::uint32_t slot = queue.stage_message(message);
+  queue.push_delivery(1, 0, 1, slot);
+  queue.push_delivery(1, 0, 2, slot);
+  queue.push_delivery(1, 0, 3, slot);
+  // One reference in the slot table plus the test's own handle: pushing
+  // three deliveries copies nothing.
+  EXPECT_EQ(message.use_count(), 2);
+  EXPECT_EQ(queue.staged_message_count(), 1u);
+
+  SimTime now = 0;
+  int popped = 0;
+  while (!queue.empty()) {
+    const Event event = queue.pop(now);
+    ASSERT_EQ(event.kind(), EventKind::kDelivery);
+    EXPECT_EQ(&queue.message(event.delivery.message_slot), message.get());
+    queue.release_message(event.delivery.message_slot);
+    ++popped;
+  }
+  EXPECT_EQ(popped, 3);
+  // The last release freed the slot.
+  EXPECT_EQ(queue.staged_message_count(), 0u);
+  EXPECT_EQ(message.use_count(), 1);
+}
+
 TEST(EventQueueTest, NextTimeReportsHead) {
   EventQueue queue;
-  queue.push(42, [] {});
-  queue.push(7, [] {});
+  queue.push_timer(42, 0, 1, 1);
+  queue.push_timer(7, 0, 2, 1);
   EXPECT_EQ(queue.next_time(), 7);
 }
 
 TEST(EventQueueTest, InterleavedPushPopKeepsOrder) {
   EventQueue queue;
   std::vector<int> order;
-  queue.push(10, [&] { order.push_back(1); });
+  queue.push_control(10, [&] { order.push_back(1); });
   SimTime now = 0;
-  queue.pop(now)();
-  queue.push(5, [&] { order.push_back(2); });   // earlier absolute time,
-  queue.push(20, [&] { order.push_back(3); });  // pushed later
-  while (!queue.empty()) {
-    queue.pop(now)();
-  }
+  queue.take_control(queue.pop(now).control.callback_slot)();
+  queue.push_control(5, [&] { order.push_back(2); });   // earlier absolute time,
+  queue.push_control(20, [&] { order.push_back(3); });  // pushed later
+  drain(queue, now);
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(EventQueueTest, ClearDropsEverything) {
+TEST(EventQueueTest, ClearReleasesMessageReferencesAndCallbacks) {
   EventQueue queue;
-  queue.push(1, [] {});
-  queue.push(2, [] {});
+  auto message = std::make_shared<TestMessage>();
+  const std::uint32_t slot = queue.stage_message(message);
+  queue.push_delivery(1, 0, 1, slot);
+  queue.push_delivery(2, 0, 2, slot);
+  auto witness = std::make_shared<int>(0);
+  queue.push_control(3, [witness] { ++*witness; });
+  queue.push_timer(4, 0, 1, 1);
+  // Staged but never pushed: clear() must free this one too.
+  auto orphan = std::make_shared<TestMessage>();
+  (void)queue.stage_message(orphan);
+  EXPECT_EQ(message.use_count(), 2);
+  EXPECT_EQ(witness.use_count(), 2);
+  EXPECT_EQ(orphan.use_count(), 2);
+
   queue.clear();
   EXPECT_TRUE(queue.empty());
+  // The staged payloads and the captured callback state were all released:
+  // nothing but the test's own handles survive.
+  EXPECT_EQ(queue.staged_message_count(), 0u);
+  EXPECT_EQ(message.use_count(), 1);
+  EXPECT_EQ(witness.use_count(), 1);
+  EXPECT_EQ(orphan.use_count(), 1);
+}
+
+TEST(EventQueueTest, RejectsNullMessageAndNullAction) {
+  EventQueue queue;
+  EXPECT_THROW((void)queue.stage_message(nullptr), std::invalid_argument);
+  EXPECT_THROW(queue.push_control(1, nullptr), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Cancelled-timer skip at pop (simulator-level: the generation table lives
+// in the Simulator, the queue only transports the arming generation).
+// ---------------------------------------------------------------------------
+
+class CancelHalfProcess final : public Process {
+ public:
+  void on_start() override {
+    set_timer(1, kSecond);
+    set_timer(2, kSecond);
+    cancel_timer(2);  // its queued expiry must be skipped at pop time
+  }
+  void on_timer(int timer_id) override { fired.push_back(timer_id); }
+  void on_message(wsn::NodeId, const Message&) override {}
+
+  std::vector<int> fired;
+};
+
+TEST(EventQueueSimulatorTest, CancelledTimerIsSkippedAtPopButStillPops) {
+  const wsn::Topology line = wsn::make_line(2);
+  Simulator simulator(line.graph, make_ideal_radio(), 1);
+  simulator.add_process(0, std::make_unique<CancelHalfProcess>());
+  simulator.add_process(1, std::make_unique<CancelHalfProcess>());
+  simulator.run_until(10 * kSecond);
+  for (wsn::NodeId n = 0; n < 2; ++n) {
+    const auto& process =
+        dynamic_cast<const CancelHalfProcess&>(simulator.process(n));
+    EXPECT_EQ(process.fired, std::vector<int>{1});
+  }
+  // Both armed expiries popped (the cancelled one as a skipped no-op, so
+  // event accounting is invariant under cancellation), but only the live
+  // ones fired.
+  EXPECT_EQ(simulator.events_executed(), 4u);
+  EXPECT_EQ(simulator.timers_fired(), 2u);
 }
 
 }  // namespace

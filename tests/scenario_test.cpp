@@ -19,7 +19,7 @@ namespace {
 const char* const kBuiltinNames[] = {
     "fig5a",       "fig5b",          "cmp_phantom", "abl_noise",
     "abl_attacker", "abl_schedulers", "abl_safety",  "table1",
-    "message_overhead", "perf_sim",   "perf_verify",
+    "message_overhead", "perf_sim",   "perf_verify", "scal_grid",
 };
 
 Scenario dummy_scenario(std::string name) {
@@ -33,7 +33,7 @@ Scenario dummy_scenario(std::string name) {
   return scenario;
 }
 
-TEST(ScenarioRegistryTest, RegistersAllElevenBuiltins) {
+TEST(ScenarioRegistryTest, RegistersAllBuiltins) {
   ScenarioRegistry registry;
   register_builtin_scenarios(registry);
   EXPECT_EQ(registry.scenarios().size(), std::size(kBuiltinNames));

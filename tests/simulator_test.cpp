@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "slpdas/wsn/topology.hpp"
@@ -151,6 +152,12 @@ class TimerProcess final : public Process {
     set_timer(2, 2 * kSecond);  // re-arm supersedes
     set_timer(3, kSecond);
     cancel_timer(3);
+    // Cancelling timers that were NEVER armed must be a silent no-op: it
+    // may not fabricate generation state (the old per-process map grew an
+    // entry here) and a later arm of the same id must still fire.
+    cancel_timer(4);
+    cancel_timer(1000000);
+    set_timer(4, kSecond);
   }
   void on_timer(int timer_id) override { fired.push_back({timer_id, now()}); }
   void on_message(wsn::NodeId, const Message&) override {}
@@ -165,9 +172,42 @@ TEST(SimulatorTimerTest, RearmAndCancelSemantics) {
   simulator.add_process(1, std::make_unique<TimerProcess>());
   simulator.run_until(10 * kSecond);
   const auto& fired = dynamic_cast<TimerProcess&>(simulator.process(0)).fired;
-  ASSERT_EQ(fired.size(), 2u);
+  ASSERT_EQ(fired.size(), 3u);
   EXPECT_EQ(fired[0], (std::pair{1, kSecond}));
-  EXPECT_EQ(fired[1], (std::pair{2, 2 * kSecond}));
+  EXPECT_EQ(fired[1], (std::pair{4, kSecond}));
+  EXPECT_EQ(fired[2], (std::pair{2, 2 * kSecond}));
+}
+
+class BadTimerProcess final : public Process {
+ public:
+  void on_start() override {
+    EXPECT_THROW(set_timer(-1, kSecond), std::invalid_argument);
+    EXPECT_THROW(set_timer(1, -kSecond), std::invalid_argument);
+    cancel_timer(-1);  // negative ids are a no-op for cancel
+    set_timer(1, kSecond);
+  }
+  void on_timer(int) override {
+    // now() is past zero here, so the maximum delay must be rejected:
+    // unchecked, now() + delay would wrap SimTime (signed overflow) and
+    // sail past call_at's past-time check as a bogus early event.
+    EXPECT_THROW(set_timer(1, std::numeric_limits<SimTime>::max()),
+                 std::overflow_error);
+    // The largest still-representable delay remains accepted.
+    set_timer(2, std::numeric_limits<SimTime>::max() - now());
+    ran = true;
+  }
+  void on_message(wsn::NodeId, const Message&) override {}
+
+  bool ran = false;
+};
+
+TEST(SimulatorTimerTest, RejectsBadTimerArguments) {
+  const wsn::Topology solo = wsn::make_line(2);
+  Simulator simulator(solo.graph, make_ideal_radio(), 1);
+  simulator.add_process(0, std::make_unique<BadTimerProcess>());
+  simulator.add_process(1, std::make_unique<BadTimerProcess>());
+  simulator.run_until(2 * kSecond);
+  EXPECT_TRUE(dynamic_cast<BadTimerProcess&>(simulator.process(0)).ran);
 }
 
 TEST(SimulatorApiTest, RegistrationErrors) {
@@ -191,6 +231,19 @@ TEST(SimulatorApiTest, CallAtRejectsPast) {
   simulator.add_process(1, std::make_unique<TimerProcess>());
   simulator.run_until(kSecond);
   EXPECT_THROW(simulator.call_at(0, [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorApiTest, CallAfterRejectsOverflowingDelay) {
+  const wsn::Topology line = wsn::make_line(2);
+  Simulator simulator(line.graph, make_ideal_radio(), 1);
+  simulator.add_process(0, std::make_unique<TimerProcess>());
+  simulator.add_process(1, std::make_unique<TimerProcess>());
+  simulator.run_until(kSecond);  // now > 0, so max delay wraps
+  EXPECT_THROW(simulator.call_after(std::numeric_limits<SimTime>::max(), [] {}),
+               std::overflow_error);
+  // A far-future but representable callback is still fine.
+  simulator.call_after(std::numeric_limits<SimTime>::max() - simulator.now(),
+                       [] {});
 }
 
 TEST(SimulatorApiTest, StopHaltsRun) {

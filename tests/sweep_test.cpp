@@ -8,7 +8,9 @@
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
+#include "slpdas/core/scenario.hpp"
 #include "test_util.hpp"
 
 namespace slpdas::core {
@@ -358,6 +360,138 @@ TEST(SweepJsonTest, RejectsMalformedAndUnknownSchema) {
         "\"wall_seconds\": 1-2, \"cells\": []}");
     EXPECT_THROW((void)read_sweep_json(stream), std::runtime_error);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Golden fingerprints. These constants were produced by the PR-3 code base
+// (before the typed event core) and pin the behavioural contract: identical
+// (grid, protocol, seed) must keep producing bit-identical documents across
+// refactors of the simulator internals. If a change here is INTENDED (a new
+// axis, a protocol fix), regenerate the constants and say so loudly in the
+// commit message; an unintended mismatch means the refactor changed results.
+// ---------------------------------------------------------------------------
+
+std::uint64_t fnv1a_bytes(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+TEST(GoldenFingerprintTest, SmallSweepDocumentIsByteStable) {
+  SweepGrid grid(small_base(3));
+  grid.axis("side", {{"5",
+                      [](ExperimentConfig& config) {
+                        config.topology = wsn::make_grid(5);
+                      }},
+                     {"7",
+                      [](ExperimentConfig& config) {
+                        config.topology = wsn::make_grid(7);
+                      }}});
+  grid.axis("protocol",
+            {{"protectionless-das",
+              [](ExperimentConfig& config) {
+                config.protocol = ProtocolKind::kProtectionlessDas;
+              }},
+             {"slp-das",
+              [](ExperimentConfig& config) {
+                config.protocol = ProtocolKind::kSlpDas;
+              }}});
+  const auto cells = grid.expand();
+  EXPECT_EQ(hash_sweep_grid(cells), 0x6b90a23f404d5439ULL);
+
+  SweepOptions options;
+  options.threads = 2;
+  options.base_seed = 2017;
+  options.deterministic_timing = true;
+  const SweepResult sweep = run_sweep(cells, options);
+  std::ostringstream out;
+  write_sweep_json(out, sweep, "golden");
+  // Every byte of the deterministic document: all metrics of all four
+  // cells, double formatting included.
+  EXPECT_EQ(fnv1a_bytes(out.str()), 0xddda19550e6d9f13ULL);
+
+  // A readable snapshot of one cell, so a mismatch names the drifted
+  // metric instead of just a hash.
+  const SweepJson document = to_sweep_json(sweep, "golden");
+  ASSERT_EQ(document.cells.size(), 4u);
+  const SweepJsonCell& cell = document.cells[0];
+  EXPECT_EQ(cell.label, "side=5/protocol=protectionless-das");
+  EXPECT_EQ(cell.capture_trials, 3u);
+  EXPECT_EQ(cell.capture_successes, 0u);
+  EXPECT_EQ(cell.delivery_ratio.mean, 0.88888888888888884);
+  EXPECT_EQ(cell.delivery_latency_s.mean, 0.24383333333333332);
+  EXPECT_EQ(cell.control_messages_per_node.mean, 12.786666666666667);
+  EXPECT_EQ(cell.normal_messages_per_node.mean, 7.6799999999999997);
+  EXPECT_EQ(cell.attacker_moves.mean, 7.666666666666667);
+  EXPECT_EQ(cell.attacker_moves.stddev, 0.57735026918962573);
+  EXPECT_EQ(document.cells[2].capture_successes, 1u);  // side=7 baseline
+  // Deterministic documents must never grow the perf block — its absence
+  // is what keeps them byte-identical across schema-extending releases.
+  EXPECT_FALSE(cell.has_perf);
+  EXPECT_EQ(out.str().find("\"perf\""), std::string::npos);
+}
+
+TEST(GoldenFingerprintTest, BuiltinScenarioGridsAreStable) {
+  // hash_sweep_grid is a pure function of labels, seed labels and run
+  // counts: these pins make any accidental edit of the published grids
+  // (axis values, run counts, cell order) fail loudly.
+  ScenarioRegistry registry;
+  register_builtin_scenarios(registry);
+  const ScenarioOptions defaults;
+  ScenarioOptions smoke;
+  smoke.smoke = true;
+  const struct {
+    const char* name;
+    std::uint64_t default_hash;
+    std::uint64_t smoke_hash;
+  } kExpected[] = {
+      {"fig5a", 0x5fac2a7b22a1559eULL, 0xc8d00cbfeff20f42ULL},
+      {"fig5b", 0x002a88a5fe1b8222ULL, 0x806429abca4b85a6ULL},
+      {"perf_sim", 0x8cd7e075782f686fULL, 0x08cc739a1a98e897ULL},
+  };
+  for (const auto& expected : kExpected) {
+    SCOPED_TRACE(expected.name);
+    const Scenario* scenario = registry.find(expected.name);
+    ASSERT_NE(scenario, nullptr);
+    EXPECT_EQ(hash_sweep_grid(scenario->make_cells(defaults)),
+              expected.default_hash);
+    EXPECT_EQ(hash_sweep_grid(scenario->make_cells(smoke)),
+              expected.smoke_hash);
+  }
+}
+
+TEST(SweepJsonTest, PerfBlockRoundTripsInRealClockDocuments) {
+  const auto cells = small_cells(2);
+  SweepOptions options;
+  options.threads = 2;
+  options.base_seed = 11;
+  const SweepResult sweep = run_sweep(cells, options);  // real clocks
+
+  std::stringstream stream;
+  write_sweep_json(stream, sweep, "perf_roundtrip");
+  EXPECT_NE(stream.str().find("\"perf\""), std::string::npos);
+  const SweepJson parsed = read_sweep_json(stream);
+  ASSERT_EQ(parsed.cells.size(), sweep.cells.size());
+  for (std::size_t i = 0; i < parsed.cells.size(); ++i) {
+    const SweepJsonCell& cell = parsed.cells[i];
+    ASSERT_TRUE(cell.has_perf) << cell.label;
+    EXPECT_EQ(cell.perf_events, sweep.cells[i].result.events_executed);
+    EXPECT_EQ(cell.perf_deliveries, sweep.cells[i].result.deliveries);
+    EXPECT_EQ(cell.perf_timer_fires, sweep.cells[i].result.timer_fires);
+    EXPECT_GT(cell.perf_events, 0u);
+    EXPECT_GE(cell.perf_events,
+              cell.perf_deliveries + cell.perf_timer_fires);
+    if (cell.wall_seconds > 0.0) {
+      EXPECT_GT(cell.perf_events_per_sec, 0.0);
+    }
+  }
+  // ...and the reparse re-serialises byte-identically, perf block included.
+  std::ostringstream rewritten;
+  write_sweep_json(rewritten, parsed);
+  EXPECT_EQ(rewritten.str(), stream.str());
 }
 
 TEST(SweepJsonTest, EscapesLabelStrings) {
