@@ -59,7 +59,11 @@ int usage(std::ostream& out, int code) {
          "\nrun options:\n"
          "  --runs N         seeds per grid cell (0 = scenario default)\n"
          "  --seed N         sweep base seed (0 = scenario default)\n"
-         "  --sd N           search distance override (fig5 family)\n"
+         "  --sd N           search distance override (fig5 family only)\n"
+         "  --set KEY=VALUE  custom-scenario axis assignment; repeat a KEY\n"
+         "                   to sweep it (keys: topology, protocol,\n"
+         "                   attacker, radio, sd, cs — spec grammar in the\n"
+         "                   README, e.g. topology=udisk:n=400,r=10)\n"
          "  --threads N      shared pool size (0 = hardware concurrency)\n"
          "  --progress       per-cell progress lines on stderr\n"
          "  --smoke          smallest grid, one run per cell\n"
@@ -120,6 +124,17 @@ int run_scenarios(const CliOptions& options) {
   }
   if (selected.empty()) {
     return usage(std::cerr, 2);
+  }
+  for (const core::Scenario* scenario : selected) {
+    // A knob the scenario would silently ignore is a mis-specified
+    // experiment — refuse it up front, naming the scenarios that do
+    // honour the option.
+    const std::string problem =
+        core::unsupported_option(*scenario, options.scenario);
+    if (!problem.empty()) {
+      std::cerr << problem << '\n';
+      return 2;
+    }
   }
   if (options.shard_count > 1 && !options.json) {
     // Without --json a shard's results would be computed and then thrown
@@ -310,6 +325,16 @@ int main(int argc, char** argv) {
         options.scenario.base_seed = next_u64("--seed");
       } else if (arg == "--sd") {
         options.scenario.search_distance = next_int("--sd");
+      } else if (arg == "--set") {
+        const std::string value = next_value("--set");
+        const std::size_t eq = value.find('=');
+        if (eq == std::string::npos || eq == 0) {
+          std::cerr << "--set expects KEY=VALUE, e.g. "
+                       "topology=udisk:n=400,r=10\n";
+          return 2;
+        }
+        options.scenario.sets.emplace_back(value.substr(0, eq),
+                                           value.substr(eq + 1));
       } else if (arg == "--threads") {
         options.threads = next_int("--threads");
       } else if (arg == "--smoke") {

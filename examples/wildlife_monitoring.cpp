@@ -22,7 +22,10 @@ int main(int argc, char** argv) {
   const int runs = argc > 1 ? std::atoi(argv[1]) : 40;
 
   // Regular 13x13 deployment, 25 m spacing: ~300 m x 300 m of reserve.
-  const wsn::Topology reserve = wsn::make_grid(13, 25.0);
+  // The spec goes into the experiment config; the materialised copy here
+  // only feeds the intro line's hop-distance computation.
+  const wsn::TopologySpec reserve_spec = wsn::TopologySpec::grid(13, 25.0);
+  const wsn::Topology reserve = reserve_spec.build();
   const int animal_distance =
       wsn::hop_distance(reserve.graph, reserve.source, reserve.sink);
   std::cout << "reserve: " << reserve.graph.to_string()
@@ -36,7 +39,7 @@ int main(int argc, char** argv) {
   for (const auto protocol : {core::ProtocolKind::kProtectionlessDas,
                               core::ProtocolKind::kSlpDas}) {
     core::ExperimentConfig config;
-    config.topology = reserve;
+    config.topology = reserve_spec;
     config.protocol = protocol;
     config.radio = core::RadioKind::kCasinoLab;
     config.runs = runs;

@@ -18,6 +18,7 @@
 #include "slpdas/metrics/stats.hpp"
 #include "slpdas/sim/radio.hpp"
 #include "slpdas/wsn/topology.hpp"
+#include "slpdas/wsn/topology_spec.hpp"
 
 namespace slpdas::core {
 
@@ -39,6 +40,12 @@ enum class RadioKind {
 
 /// Attacker specification by value (a fresh DecisionFunction is built per
 /// run so parallel runs never share state).
+///
+/// Specs have a canonical string grammar mirroring the paper's
+/// (R,H,M,s0,D) model: "R=2,H=4,M=1,D=min-slot". Every key is optional in
+/// parse() (defaults are the paper's classic attacker); to_spec() prints
+/// all four keys, so equal specs always print equal strings and
+/// parse(to_spec()) round-trips exactly.
 struct AttackerSpec {
   int messages_per_move = 1;  ///< R
   int history_size = 0;       ///< H
@@ -46,12 +53,24 @@ struct AttackerSpec {
   enum class Decision { kFirstHeard, kMinSlot, kHistoryAvoiding, kRandom };
   Decision decision = Decision::kFirstHeard;
 
+  /// Parses "R=..,H=..,M=..,D=.." (any subset, any order; D is one of
+  /// first-heard, min-slot, history-avoiding, random). Throws
+  /// std::invalid_argument naming the bad key or value.
+  [[nodiscard]] static AttackerSpec parse(std::string_view text);
+  /// Canonical spec string, e.g. "R=1,H=0,M=1,D=first-heard".
+  [[nodiscard]] std::string to_spec() const;
+
   [[nodiscard]] attacker::AttackerParams build(wsn::NodeId start) const;
   [[nodiscard]] std::string label() const;
+
+  friend bool operator==(const AttackerSpec&, const AttackerSpec&) = default;
 };
 
 struct ExperimentConfig {
-  wsn::Topology topology;
+  /// Declarative topology spec — the graph is materialised lazily, once
+  /// per cell/experiment inside the harness, so configs stay cheap values
+  /// whose size never scales with the network.
+  wsn::TopologySpec topology;
   ProtocolKind protocol = ProtocolKind::kProtectionlessDas;
   Parameters parameters{};
   AttackerSpec attacker{};
@@ -114,8 +133,39 @@ struct ExperimentResult {
   std::uint64_t timer_fires = 0;
 };
 
-/// Executes one seeded run. Deterministic in (config, seed).
+/// Canonical protocol spec string: the ProtocolKind name, plus the walk
+/// length for phantom routing ("phantom-routing:h=10") since it changes
+/// the experiment.
+[[nodiscard]] std::string format_protocol_spec(ProtocolKind kind,
+                                               int phantom_walk_length);
+
+/// Parses a protocol spec ('_' accepted for '-') and applies it to the
+/// config (kind, and for phantom routing the walk length). Throws
+/// std::invalid_argument listing the valid names.
+void apply_protocol_spec(std::string_view text, ExperimentConfig& config);
+
+/// Canonical radio spec string: the RadioKind name, with the loss
+/// probability for the i.i.d. model ("lossy:p=0.05"). The casino-lab
+/// burst parameters are not part of the spec grammar; non-default
+/// CasinoLabParams stay a C++-only configuration.
+[[nodiscard]] std::string format_radio_spec(RadioKind kind,
+                                            double loss_probability);
+
+/// Parses "ideal", "casino-lab", "lossy" or "lossy:p=0.08" and applies it
+/// to the config. Throws std::invalid_argument listing the valid names.
+void apply_radio_spec(std::string_view text, ExperimentConfig& config);
+
+/// Executes one seeded run, materialising config.topology first.
+/// Deterministic in (config, seed).
 [[nodiscard]] RunResult run_single(const ExperimentConfig& config,
+                                   std::uint64_t seed);
+
+/// Same, against a caller-materialised topology (callers that run many
+/// seeds — run_experiment, the sweep engine — build once per cell and
+/// reuse it). `topology` must be config.topology.build()'s result; a
+/// mismatched graph silently simulates a different experiment.
+[[nodiscard]] RunResult run_single(const ExperimentConfig& config,
+                                   const wsn::Topology& topology,
                                    std::uint64_t seed);
 
 /// Folds per-run results into an aggregate IN THE GIVEN ORDER, so callers

@@ -16,6 +16,7 @@
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "slpdas/core/sweep.hpp"
@@ -24,11 +25,18 @@ namespace slpdas::core {
 
 /// Knobs every registered scenario understands. Zero means "use the
 /// scenario's default", so one options struct can drive all of them.
+/// Scenario-SPECIFIC knobs (search_distance, sets) are only honoured by
+/// scenarios that declare them (Scenario::accepts_*); passing one to any
+/// other scenario is an error the CLI surfaces instead of a silent no-op.
 struct ScenarioOptions {
   int runs = 0;                 ///< seeds per cell; 0 = scenario default
   std::uint64_t base_seed = 0;  ///< sweep seed; 0 = scenario default
   int search_distance = 0;      ///< SD override (fig5 family); 0 = default
   bool smoke = false;  ///< smallest grid, one run per cell (CI smoke mode)
+  /// Repeated `--set key=value` axis assignments for the `custom`
+  /// scenario: each distinct key becomes a grid axis, repeated keys its
+  /// values, in first-appearance order.
+  std::vector<std::pair<std::string, std::string>> sets;
 };
 
 /// Resolves the per-cell run count: an explicit --runs wins, smoke mode
@@ -42,6 +50,11 @@ struct Scenario {
   std::string summary;    ///< one line for `slpdas_bench list`
   int default_runs = 100;
   std::uint64_t default_seed = 1;
+  /// Which scenario-specific options this scenario honours. The CLI
+  /// refuses an option no selected scenario declares (see
+  /// unsupported_option) instead of letting it be silently ignored.
+  bool accepts_search_distance = false;  ///< --sd
+  bool accepts_sets = false;             ///< --set key=value
   /// Expands the scenario's grid for the given options (smoke mode picks
   /// the smallest topologies). Every cell's config.runs must already be
   /// resolved via resolved_runs().
@@ -81,9 +94,19 @@ class ScenarioRegistry {
 
 /// Registers the built-in paper scenarios (fig5a, fig5b, cmp_phantom,
 /// abl_noise, abl_attacker, abl_schedulers, abl_safety, table1,
-/// message_overhead, perf_sim, perf_verify, scal_grid). Idempotent.
+/// message_overhead, perf_sim, perf_verify, scal_grid) plus the
+/// CLI-composable `custom` scenario. Idempotent.
 void register_builtin_scenarios(
     ScenarioRegistry& registry = ScenarioRegistry::global());
+
+/// Names the first option in `options` that `scenario` does not honour
+/// (with a hint naming the scenarios in `registry` that do), or "" when
+/// every provided option applies. The CLI refuses to run on a non-empty
+/// result — a knob that would be silently ignored is a mis-specified
+/// experiment.
+[[nodiscard]] std::string unsupported_option(
+    const Scenario& scenario, const ScenarioOptions& options,
+    const ScenarioRegistry& registry = ScenarioRegistry::global());
 
 /// How to execute a scenario's sweep (as opposed to WHAT to run, which is
 /// ScenarioOptions): pool sharing, sharding, timing determinism, streaming.

@@ -145,6 +145,14 @@ struct SweepCellResult {
   std::vector<std::pair<std::string, std::string>> coordinates;
   std::uint64_t cell_seed = 0;
   int runs = 0;
+  /// Canonical spec strings of the cell's ExperimentConfig (topology /
+  /// protocol / attacker / radio) — the per-cell "config" block of the
+  /// serialised document, so every cell names the experiment it ran
+  /// independently of how the axis labels were spelled.
+  std::string config_topology;
+  std::string config_protocol;
+  std::string config_attacker;
+  std::string config_radio;
   ExperimentResult result;
   double wall_seconds = 0.0;
   /// Whether the serialised cell carries the perf telemetry block
@@ -209,6 +217,16 @@ struct SweepJsonCell {
   std::vector<std::pair<std::string, std::string>> coordinates;
   std::uint64_t cell_seed = 0;
   int runs = 0;
+  /// Per-cell "config" block: the canonical topology/protocol/attacker/
+  /// radio spec strings of the experiment. Present in every document this
+  /// library writes (deterministic ones included — the specs are part of
+  /// the experiment's identity, unlike the perf telemetry); absent only
+  /// in legacy documents, whose rewrite then stays byte-identical.
+  bool has_config = false;
+  std::string config_topology;
+  std::string config_protocol;
+  std::string config_attacker;
+  std::string config_radio;
   std::uint64_t capture_trials = 0;
   std::uint64_t capture_successes = 0;
   double capture_ratio = 0.0;

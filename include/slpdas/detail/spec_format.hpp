@@ -1,0 +1,73 @@
+// Shared numeric helpers for the spec-string layer (TopologySpec,
+// AttackerSpec, protocol/radio specs, the custom scenario): strict
+// whole-token parses and shortest-round-trip formatting, so every spec
+// grammar rejects trailing garbage identically and canonical strings
+// print the same way everywhere.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace slpdas::detail {
+
+/// Whole-token integer parse; nullopt on garbage or a partial consume.
+inline std::optional<int> parse_int_token(std::string_view token) {
+  int value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+/// Whole-token unsigned 64-bit parse (rejects signs).
+inline std::optional<std::uint64_t> parse_u64_token(std::string_view token) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+/// Whole-token double parse.
+inline std::optional<double> parse_double_token(std::string_view token) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+/// Shortest decimal form that round-trips to the exact double ("4.5",
+/// "0.125") — the canonical-print discipline every spec shares.
+inline std::string format_double_shortest(double value) {
+  char buffer[32];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc()) {
+    return "0";  // unreachable for finite doubles
+  }
+  return std::string(buffer, end);
+}
+
+/// Shell-friendly '_' -> '-' normalisation for spec names (slp_das,
+/// casino_lab, min_slot); numeric tokens never contain underscores.
+inline std::string normalize_spec_name(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    if (c == '_') {
+      c = '-';
+    }
+  }
+  return out;
+}
+
+}  // namespace slpdas::detail

@@ -11,6 +11,7 @@
 #include "slpdas/wsn/graph.hpp"
 #include "slpdas/wsn/paths.hpp"
 #include "slpdas/wsn/topology.hpp"
+#include "slpdas/wsn/topology_spec.hpp"
 
 #include "slpdas/sim/energy.hpp"
 #include "slpdas/sim/event_queue.hpp"

@@ -4,12 +4,15 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "slpdas/attacker/runtime.hpp"
 #include "slpdas/core/thread_pool.hpp"
+#include "slpdas/detail/spec_format.hpp"
 #include "slpdas/mac/schedule_io.hpp"
 #include "slpdas/phantom/phantom_routing.hpp"
 #include "slpdas/rng.hpp"
@@ -66,22 +69,97 @@ attacker::AttackerParams AttackerSpec::build(wsn::NodeId start) const {
   return params;
 }
 
-std::string AttackerSpec::label() const {
-  const char* d = "first-heard";
+namespace {
+
+const char* decision_name(AttackerSpec::Decision decision) {
   switch (decision) {
-    case Decision::kFirstHeard:
-      d = "first-heard";
-      break;
-    case Decision::kMinSlot:
-      d = "min-slot";
-      break;
-    case Decision::kHistoryAvoiding:
-      d = "history-avoiding";
-      break;
-    case Decision::kRandom:
-      d = "random";
-      break;
+    case AttackerSpec::Decision::kFirstHeard:
+      return "first-heard";
+    case AttackerSpec::Decision::kMinSlot:
+      return "min-slot";
+    case AttackerSpec::Decision::kHistoryAvoiding:
+      return "history-avoiding";
+    case AttackerSpec::Decision::kRandom:
+      return "random";
   }
+  return "first-heard";
+}
+
+int parse_spec_int(std::string_view spec, std::string_view key,
+                   std::string_view token) {
+  const std::optional<int> value = detail::parse_int_token(token);
+  if (!value || *value < 0) {
+    throw std::invalid_argument("attacker spec '" + std::string(spec) +
+                                "': " + std::string(key) +
+                                " must be a non-negative integer, got '" +
+                                std::string(token) + "'");
+  }
+  return *value;
+}
+
+}  // namespace
+
+AttackerSpec AttackerSpec::parse(std::string_view text) {
+  AttackerSpec spec;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', start), text.size());
+    const std::string_view item = text.substr(start, comma - start);
+    start = comma + 1;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("attacker spec '" + std::string(text) +
+                                  "': expected key=value, got '" +
+                                  std::string(item) + "'");
+    }
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (key == "R") {
+      spec.messages_per_move = parse_spec_int(text, key, value);
+    } else if (key == "H") {
+      spec.history_size = parse_spec_int(text, key, value);
+    } else if (key == "M") {
+      spec.moves_per_period = parse_spec_int(text, key, value);
+    } else if (key == "D") {
+      // '_' accepted for '-' (min_slot), like the protocol/radio specs.
+      const std::string name = detail::normalize_spec_name(value);
+      if (name == "first-heard") {
+        spec.decision = Decision::kFirstHeard;
+      } else if (name == "min-slot") {
+        spec.decision = Decision::kMinSlot;
+      } else if (name == "history-avoiding") {
+        spec.decision = Decision::kHistoryAvoiding;
+      } else if (name == "random") {
+        spec.decision = Decision::kRandom;
+      } else {
+        throw std::invalid_argument(
+            "attacker spec '" + std::string(text) + "': unknown decision '" +
+            std::string(value) +
+            "' (valid: first-heard, min-slot, history-avoiding, random)");
+      }
+    } else {
+      throw std::invalid_argument("attacker spec '" + std::string(text) +
+                                  "': unknown key '" + std::string(key) +
+                                  "' (valid: R, H, M, D)");
+    }
+  }
+  return spec;
+}
+
+std::string AttackerSpec::to_spec() const {
+  std::string out = "R=";
+  out += std::to_string(messages_per_move);
+  out += ",H=";
+  out += std::to_string(history_size);
+  out += ",M=";
+  out += std::to_string(moves_per_period);
+  out += ",D=";
+  out += decision_name(decision);
+  return out;
+}
+
+std::string AttackerSpec::label() const {
+  const char* d = decision_name(decision);
   // Built with += (not operator+ chains) to dodge GCC 12's -Wrestrict
   // false positive on `const char* + std::string&&` (GCC bug 105651).
   std::string label = "(";
@@ -111,8 +189,110 @@ std::unique_ptr<sim::RadioModel> make_radio(const ExperimentConfig& config) {
 
 }  // namespace
 
+std::string format_protocol_spec(ProtocolKind kind, int phantom_walk_length) {
+  std::string out = to_string(kind);
+  if (kind == ProtocolKind::kPhantomRouting) {
+    out += ":h=";
+    out += std::to_string(phantom_walk_length);
+  }
+  return out;
+}
+
+void apply_protocol_spec(std::string_view text, ExperimentConfig& config) {
+  // '_' is accepted for '-' so shell-friendly names like slp_das work.
+  const std::string name = detail::normalize_spec_name(text);
+  std::string_view spec(name);
+  std::string_view option;
+  const std::size_t colon = spec.find(':');
+  if (colon != std::string_view::npos) {
+    option = spec.substr(colon + 1);
+    spec = spec.substr(0, colon);
+  }
+  if (spec == to_string(ProtocolKind::kProtectionlessDas)) {
+    config.protocol = ProtocolKind::kProtectionlessDas;
+  } else if (spec == to_string(ProtocolKind::kSlpDas)) {
+    config.protocol = ProtocolKind::kSlpDas;
+  } else if (spec == to_string(ProtocolKind::kPhantomRouting)) {
+    config.protocol = ProtocolKind::kPhantomRouting;
+  } else {
+    throw std::invalid_argument(
+        "protocol spec '" + std::string(text) +
+        "': unknown protocol (valid: protectionless-das, slp-das, "
+        "phantom-routing[:h=<walk length>])");
+  }
+  if (colon == std::string_view::npos) {
+    return;
+  }
+  constexpr std::string_view kWalkKey = "h=";
+  if (config.protocol != ProtocolKind::kPhantomRouting ||
+      option.substr(0, kWalkKey.size()) != kWalkKey) {
+    throw std::invalid_argument("protocol spec '" + std::string(text) +
+                                "': only phantom-routing takes an option, "
+                                "h=<walk length>");
+  }
+  const std::optional<int> walk =
+      detail::parse_int_token(option.substr(kWalkKey.size()));
+  if (!walk || *walk < 0) {
+    throw std::invalid_argument("protocol spec '" + std::string(text) +
+                                "': h must be a non-negative integer");
+  }
+  config.phantom_walk_length = *walk;
+}
+
+std::string format_radio_spec(RadioKind kind, double loss_probability) {
+  if (kind != RadioKind::kLossy) {
+    return to_string(kind);
+  }
+  return "lossy:p=" + detail::format_double_shortest(loss_probability);
+}
+
+void apply_radio_spec(std::string_view text, ExperimentConfig& config) {
+  // '_' accepted for '-' (casino_lab); the p= option has no underscores.
+  const std::string name = detail::normalize_spec_name(text);
+  std::string_view spec(name);
+  std::string_view option;
+  const std::size_t colon = spec.find(':');
+  if (colon != std::string_view::npos) {
+    option = spec.substr(colon + 1);
+    spec = spec.substr(0, colon);
+  }
+  if (spec == to_string(RadioKind::kIdeal)) {
+    config.radio = RadioKind::kIdeal;
+  } else if (spec == to_string(RadioKind::kCasinoLab)) {
+    config.radio = RadioKind::kCasinoLab;
+  } else if (spec == "lossy") {
+    config.radio = RadioKind::kLossy;
+  } else {
+    throw std::invalid_argument(
+        "radio spec '" + std::string(text) +
+        "': unknown radio (valid: ideal, lossy[:p=<probability>], "
+        "casino-lab)");
+  }
+  if (colon == std::string_view::npos) {
+    return;
+  }
+  constexpr std::string_view kLossKey = "p=";
+  if (config.radio != RadioKind::kLossy ||
+      option.substr(0, kLossKey.size()) != kLossKey) {
+    throw std::invalid_argument("radio spec '" + std::string(text) +
+                                "': only lossy takes an option, "
+                                "p=<loss probability>");
+  }
+  const std::optional<double> p =
+      detail::parse_double_token(option.substr(kLossKey.size()));
+  if (!p || *p < 0.0 || *p > 1.0) {
+    throw std::invalid_argument("radio spec '" + std::string(text) +
+                                "': p must be a probability in [0, 1]");
+  }
+  config.loss_probability = *p;
+}
+
 RunResult run_single(const ExperimentConfig& config, std::uint64_t seed) {
-  const wsn::Topology& topology = config.topology;
+  return run_single(config, config.topology.build(), seed);
+}
+
+RunResult run_single(const ExperimentConfig& config,
+                     const wsn::Topology& topology, std::uint64_t seed) {
   const wsn::Graph& graph = topology.graph;
   if (!graph.contains(topology.source) || !graph.contains(topology.sink) ||
       topology.source == topology.sink) {
@@ -276,6 +456,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (config.runs < 1) {
     throw std::invalid_argument("run_experiment: runs must be >= 1");
   }
+  // Materialise the topology ONCE for all runs — the spec refactor's
+  // contract: configs carry specs, the harness builds per experiment.
+  const wsn::Topology topology = config.topology.build();
   // Workers fill a per-run slot each; aggregation happens afterwards in
   // run-index order so the result is bit-identical for any thread count.
   std::vector<RunResult> runs(static_cast<std::size_t>(config.runs));
@@ -291,7 +474,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       try {
         const std::uint64_t seed = derive_seed(
             config.base_seed, static_cast<std::uint64_t>(run_index));
-        runs[static_cast<std::size_t>(run_index)] = run_single(config, seed);
+        runs[static_cast<std::size_t>(run_index)] =
+            run_single(config, topology, seed);
       } catch (...) {
         const std::scoped_lock lock(mutex);
         if (!first_error) {

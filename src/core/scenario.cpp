@@ -60,6 +60,35 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   scenarios::register_tables(registry);
   scenarios::register_perf(registry);
   scenarios::register_scaling(registry);
+  scenarios::register_custom(registry);
+}
+
+std::string unsupported_option(const Scenario& scenario,
+                               const ScenarioOptions& options,
+                               const ScenarioRegistry& registry) {
+  const auto hint = [&registry](const char* flag,
+                                bool (*accepts)(const Scenario&)) {
+    std::string scenarios;
+    for (const Scenario& s : registry.scenarios()) {
+      if (accepts(s)) {
+        scenarios += scenarios.empty() ? "" : ", ";
+        scenarios += s.name;
+      }
+    }
+    return std::string(flag) + " (honoured by: " +
+           (scenarios.empty() ? "no registered scenario" : scenarios) + ")";
+  };
+  if (options.search_distance != 0 && !scenario.accepts_search_distance) {
+    return "scenario '" + scenario.name + "' does not honour " +
+           hint("--sd", [](const Scenario& s) {
+             return s.accepts_search_distance;
+           });
+  }
+  if (!options.sets.empty() && !scenario.accepts_sets) {
+    return "scenario '" + scenario.name + "' does not honour " +
+           hint("--set", [](const Scenario& s) { return s.accepts_sets; });
+  }
+  return "";
 }
 
 namespace {

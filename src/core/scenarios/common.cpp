@@ -7,7 +7,7 @@ namespace slpdas::core::scenarios {
 
 SweepGrid::AxisValue side_axis_value(int side) {
   return {std::to_string(side), [side](ExperimentConfig& config) {
-            config.topology = wsn::make_grid(side);
+            config.topology = wsn::TopologySpec::grid(side);
           }};
 }
 

@@ -23,9 +23,10 @@ void register_ablations(ScenarioRegistry& registry);
 void register_tables(ScenarioRegistry& registry);
 void register_perf(ScenarioRegistry& registry);
 void register_scaling(ScenarioRegistry& registry);
+void register_custom(ScenarioRegistry& registry);
 
 /// A "side" axis value: label fragment is the decimal side, the mutator
-/// installs the matching square grid.
+/// installs the matching square-grid spec.
 [[nodiscard]] SweepGrid::AxisValue side_axis_value(int side);
 
 /// The protectionless-vs-SLP protocol pair. Added with `seeded = false`

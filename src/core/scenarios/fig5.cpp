@@ -118,6 +118,7 @@ Scenario make_fig5_scenario(const char* name, const char* figure_name,
                      std::to_string(default_sd);
   scenario.default_runs = 100;
   scenario.default_seed = 2017;
+  scenario.accepts_search_distance = true;
   scenario.make_cells = [default_sd](const ScenarioOptions& options) {
     return make_fig5_cells(options, default_sd);
   };

@@ -140,6 +140,12 @@ struct CellProgress {
   std::atomic<bool> started_set{false};
   std::atomic<bool> failed{false};
   double wall_seconds = 0.0;
+  /// The cell's materialised topology: built lazily by the FIRST worker
+  /// to touch the cell (configs only carry specs) and shared read-only by
+  /// the cell's other runs; released again when the last run finishes, so
+  /// peak memory scales with the cells in flight, not the grid.
+  std::once_flag build_topology;
+  wsn::Topology topology;
 };
 
 /// Defined in the JSON section below; run_sweep streams through it.
@@ -226,6 +232,12 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
     sweep.cells[m].coordinates = cell.coordinates;
     sweep.cells[m].cell_seed = cell_seed;
     sweep.cells[m].runs = cell.config.runs;
+    sweep.cells[m].config_topology = cell.config.topology.to_string();
+    sweep.cells[m].config_protocol = format_protocol_spec(
+        cell.config.protocol, cell.config.phantom_walk_length);
+    sweep.cells[m].config_attacker = cell.config.attacker.to_spec();
+    sweep.cells[m].config_radio =
+        format_radio_spec(cell.config.radio, cell.config.loss_probability);
 
     progress[m].runs.resize(static_cast<std::size_t>(cell.config.runs));
     progress[m].remaining.store(cell.config.runs);
@@ -241,10 +253,16 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
               stream_failed.load(std::memory_order_relaxed)) {
             state.failed.store(true);
           } else {
+            // First worker on the cell materialises its topology; a build
+            // failure leaves the flag unset, so every run retries, throws
+            // the same error, and the sweep reports it once below.
+            std::call_once(state.build_topology, [&state, &cell] {
+              state.topology = cell.config.topology.build();
+            });
             const std::uint64_t seed =
                 derive_seed(cell_seed, static_cast<std::uint64_t>(run));
             state.runs[static_cast<std::size_t>(run)] =
-                run_single(cell.config, seed);
+                run_single(cell.config, state.topology, seed);
           }
         } catch (...) {
           state.failed.store(true);
@@ -259,7 +277,10 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
         }
         if (state.remaining.fetch_sub(1) == 1) {
           // Last run of this cell: aggregate in run-index order so the
-          // result is independent of scheduling, then report.
+          // result is independent of scheduling, then report. The cell's
+          // topology is done with — release it so sweep memory tracks the
+          // cells in flight, not every cell ever finished.
+          state.topology = wsn::Topology{};
           state.wall_seconds = seconds_between(state.started, Clock::now());
           SweepCellResult& out = sweep.cells[m];
           out.result = aggregate_runs(state.runs, cell.config.check_schedules);
@@ -428,6 +449,11 @@ SweepJsonCell to_json_cell(const SweepCellResult& cell) {
   out.coordinates = cell.coordinates;
   out.cell_seed = cell.cell_seed;
   out.runs = cell.runs;
+  out.has_config = true;
+  out.config_topology = cell.config_topology;
+  out.config_protocol = cell.config_protocol;
+  out.config_attacker = cell.config_attacker;
+  out.config_radio = cell.config_radio;
   const ExperimentResult& r = cell.result;
   out.capture_trials = r.capture.trials();
   out.capture_successes = r.capture.successes();
@@ -493,8 +519,23 @@ void write_cell_fields(std::ostream& out, const SweepJsonCell& cell,
     write_string(out, cell.coordinates[i].second);
   }
   out << '}' << sep << "\"cell_seed\": " << cell.cell_seed << sep
-      << "\"runs\": " << cell.runs << sep
-      << "\"capture\": {\"trials\": " << cell.capture_trials
+      << "\"runs\": " << cell.runs;
+  if (cell.has_config) {
+    // Every document this library writes carries the block (the specs
+    // are part of the experiment's identity, so unlike perf it is present
+    // under deterministic timing too); only reparsed legacy documents
+    // lack it, and their rewrite must stay byte-identical.
+    out << sep << "\"config\": {\"topology\": ";
+    write_string(out, cell.config_topology);
+    out << ", \"protocol\": ";
+    write_string(out, cell.config_protocol);
+    out << ", \"attacker\": ";
+    write_string(out, cell.config_attacker);
+    out << ", \"radio\": ";
+    write_string(out, cell.config_radio);
+    out << '}';
+  }
+  out << sep << "\"capture\": {\"trials\": " << cell.capture_trials
       << ", \"successes\": " << cell.capture_successes << ", \"ratio\": ";
   write_double(out, cell.capture_ratio);
   out << ", \"wilson95\": [";
@@ -944,6 +985,14 @@ SweepJsonCell parse_cell(const JsonParser::Value& cell_value, bool v2,
   }
   cell.cell_seed = cell_value.at("cell_seed").as_u64();
   cell.runs = static_cast<int>(cell_value.at("runs").as_number());
+  if (const JsonParser::Value* config = cell_value.find("config")) {
+    // Optional: absent only in documents older than the spec layer.
+    cell.has_config = true;
+    cell.config_topology = config->at("topology").as_string();
+    cell.config_protocol = config->at("protocol").as_string();
+    cell.config_attacker = config->at("attacker").as_string();
+    cell.config_radio = config->at("radio").as_string();
+  }
   const JsonParser::Value& capture = cell_value.at("capture");
   cell.capture_trials = capture.at("trials").as_u64();
   cell.capture_successes = capture.at("successes").as_u64();

@@ -172,6 +172,11 @@ Topology make_random_unit_disk(const UnitDiskParams& params) {
     if (!is_connected(topology.graph)) {
       continue;
     }
+    // Source and sink derive from the seeded placement alone (lowest id
+    // breaks distance ties), so a spec's (n, area, r, seed) fully
+    // determines the experiment: sink = node closest to the area centre,
+    // source = node farthest from the sink AMONG the others — the scan
+    // skips the sink, which with n >= 2 guarantees source != sink.
     const Position centre{params.area_side / 2.0, params.area_side / 2.0};
     NodeId best_sink = 0;
     double best_sink_distance = squared_distance(topology.positions[0], centre);
@@ -199,11 +204,21 @@ Topology make_random_unit_disk(const UnitDiskParams& params) {
       }
     }
     topology.source = best_source;
+    if (topology.source == topology.sink) {
+      throw std::logic_error(
+          "make_random_unit_disk: source == sink despite the distinct-node "
+          "scan (internal invariant violated)");
+    }
     return topology;
   }
   throw std::runtime_error(
-      "make_random_unit_disk: no connected placement found after " +
-      std::to_string(params.max_attempts) + " attempts");
+      "make_random_unit_disk: no connected placement of " +
+      std::to_string(params.node_count) + " nodes (area " +
+      std::to_string(params.area_side) + " m, range " +
+      std::to_string(params.radio_range) + " m) found after " +
+      std::to_string(params.max_attempts) +
+      " attempts — raise the radio range, shrink the area, or allow more "
+      "attempts");
 }
 
 }  // namespace slpdas::wsn

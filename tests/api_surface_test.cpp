@@ -48,12 +48,12 @@ TEST(ApiSurfaceTest, PaperScaleConfigurationsConstruct) {
   // (processes, attacker, safety periods) without running the clock out.
   for (int side : {11, 15, 21}) {
     core::ExperimentConfig config;
-    config.topology = wsn::make_grid(side);
+    config.topology = wsn::TopologySpec::grid(side);
     config.protocol = core::ProtocolKind::kSlpDas;
     config.runs = 1;
     EXPECT_NO_THROW({
       const auto slp_config =
-          config.parameters.slp_config(config.topology);
+          config.parameters.slp_config(config.topology.build());
       EXPECT_EQ(slp_config.change_length,
                 2 * (side / 2) - config.parameters.search_distance);
     });

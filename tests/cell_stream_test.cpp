@@ -24,7 +24,7 @@ namespace {
 /// uneven) — the same fixture shape the shard/merge tests use.
 std::vector<SweepCell> five_cells() {
   ExperimentConfig base;
-  base.topology = wsn::make_grid(5);
+  base.topology = wsn::TopologySpec::grid(5);
   base.parameters = test::fast_parameters(24);
   base.radio = RadioKind::kCasinoLab;
   base.runs = 2;

@@ -14,7 +14,7 @@ namespace {
 
 ExperimentConfig small_config(ProtocolKind protocol) {
   ExperimentConfig config;
-  config.topology = wsn::make_grid(5);
+  config.topology = wsn::TopologySpec::grid(5);
   config.protocol = protocol;
   config.parameters = test::fast_parameters(24);
   config.radio = RadioKind::kCasinoLab;

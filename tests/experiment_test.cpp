@@ -11,7 +11,7 @@ namespace {
 ExperimentConfig small_config(ProtocolKind protocol, RadioKind radio,
                               int runs = 4) {
   ExperimentConfig config;
-  config.topology = wsn::make_grid(5);
+  config.topology = wsn::TopologySpec::grid(5);
   config.protocol = protocol;
   config.parameters = test::fast_parameters(24);
   config.radio = radio;
@@ -74,10 +74,13 @@ TEST(RunSingleTest, SlpRunsProduceValidSchedulesToo) {
 }
 
 TEST(RunSingleTest, InvalidTopologyRejected) {
-  auto config =
+  const auto config =
       small_config(ProtocolKind::kProtectionlessDas, RadioKind::kIdeal);
-  config.topology.source = config.topology.sink;
-  EXPECT_THROW((void)run_single(config, 1), std::invalid_argument);
+  // Specs cannot express source == sink, but the materialised overload
+  // still guards against a degenerate caller-built topology.
+  wsn::Topology topology = config.topology.build();
+  topology.source = topology.sink;
+  EXPECT_THROW((void)run_single(config, topology, 1), std::invalid_argument);
 }
 
 TEST(RunExperimentTest, AggregatesAllRuns) {
@@ -131,6 +134,99 @@ TEST(AttackerSpecTest, BuildAndLabel) {
   EXPECT_EQ(params.start, 3);
   EXPECT_EQ(params.decision->name(), "history-avoiding");
   EXPECT_EQ(spec.label(), "(2,1,2)-history-avoiding");
+}
+
+TEST(AttackerSpecTest, SpecGrammarRoundTrips) {
+  // Defaults print fully and reparse exactly.
+  EXPECT_EQ(AttackerSpec{}.to_spec(), "R=1,H=0,M=1,D=first-heard");
+  EXPECT_EQ(AttackerSpec::parse("R=1,H=0,M=1,D=first-heard"),
+            AttackerSpec{});
+  // Any subset of keys, any order; unmentioned keys keep their defaults.
+  const AttackerSpec partial = AttackerSpec::parse("R=2,H=4,D=min-slot");
+  EXPECT_EQ(partial.messages_per_move, 2);
+  EXPECT_EQ(partial.history_size, 4);
+  EXPECT_EQ(partial.moves_per_period, 1);
+  EXPECT_EQ(partial.decision, AttackerSpec::Decision::kMinSlot);
+  EXPECT_EQ(partial.to_spec(), "R=2,H=4,M=1,D=min-slot");
+  EXPECT_EQ(AttackerSpec::parse("D=history-avoiding,M=2").to_spec(),
+            "R=1,H=0,M=2,D=history-avoiding");
+  // '_' accepted for '-' in decision names (shell-friendly spelling).
+  EXPECT_EQ(AttackerSpec::parse("D=min_slot").decision,
+            AttackerSpec::Decision::kMinSlot);
+  // Property over the grammar: every spec round-trips through its
+  // canonical string.
+  for (const int r : {1, 2, 3}) {
+    for (const int h : {0, 2, 9}) {
+      for (const int m : {1, 2}) {
+        for (const auto d :
+             {AttackerSpec::Decision::kFirstHeard,
+              AttackerSpec::Decision::kMinSlot,
+              AttackerSpec::Decision::kHistoryAvoiding,
+              AttackerSpec::Decision::kRandom}) {
+          AttackerSpec spec;
+          spec.messages_per_move = r;
+          spec.history_size = h;
+          spec.moves_per_period = m;
+          spec.decision = d;
+          SCOPED_TRACE(spec.to_spec());
+          EXPECT_EQ(AttackerSpec::parse(spec.to_spec()), spec);
+        }
+      }
+    }
+  }
+}
+
+TEST(AttackerSpecTest, SpecGrammarRejectsMalformedStrings) {
+  for (const char* bad :
+       {"", "R", "R=", "R=x", "R=-1", "Z=3", "D=fastest", "R=1;H=0",
+        "r=1"}) {
+    SCOPED_TRACE(bad);
+    EXPECT_THROW((void)AttackerSpec::parse(bad), std::invalid_argument);
+  }
+}
+
+TEST(ProtocolSpecTest, FormatsAndApplies) {
+  EXPECT_EQ(format_protocol_spec(ProtocolKind::kProtectionlessDas, 10),
+            "protectionless-das");
+  EXPECT_EQ(format_protocol_spec(ProtocolKind::kSlpDas, 10), "slp-das");
+  EXPECT_EQ(format_protocol_spec(ProtocolKind::kPhantomRouting, 5),
+            "phantom-routing:h=5");
+
+  ExperimentConfig config;
+  apply_protocol_spec("slp_das", config);  // '_' accepted for '-'
+  EXPECT_EQ(config.protocol, ProtocolKind::kSlpDas);
+  apply_protocol_spec("phantom-routing:h=7", config);
+  EXPECT_EQ(config.protocol, ProtocolKind::kPhantomRouting);
+  EXPECT_EQ(config.phantom_walk_length, 7);
+  apply_protocol_spec("phantom-routing", config);  // keeps the prior walk
+  EXPECT_EQ(config.phantom_walk_length, 7);
+  for (const char* bad :
+       {"slp", "slp-das:h=3", "phantom-routing:h=-1", "phantom-routing:x=1",
+        ""}) {
+    SCOPED_TRACE(bad);
+    EXPECT_THROW(apply_protocol_spec(bad, config), std::invalid_argument);
+  }
+}
+
+TEST(RadioSpecTest, FormatsAndApplies) {
+  EXPECT_EQ(format_radio_spec(RadioKind::kIdeal, 0.05), "ideal");
+  EXPECT_EQ(format_radio_spec(RadioKind::kCasinoLab, 0.05), "casino-lab");
+  EXPECT_EQ(format_radio_spec(RadioKind::kLossy, 0.05), "lossy:p=0.05");
+
+  ExperimentConfig config;
+  apply_radio_spec("ideal", config);
+  EXPECT_EQ(config.radio, RadioKind::kIdeal);
+  apply_radio_spec("lossy:p=0.2", config);
+  EXPECT_EQ(config.radio, RadioKind::kLossy);
+  EXPECT_EQ(config.loss_probability, 0.2);
+  apply_radio_spec("casino_lab", config);  // '_' accepted for '-'
+  EXPECT_EQ(config.radio, RadioKind::kCasinoLab);
+  for (const char* bad :
+       {"noisy", "lossy:p=1.5", "lossy:p=-0.1", "lossy:q=0.1",
+        "ideal:p=0.1", ""}) {
+    SCOPED_TRACE(bad);
+    EXPECT_THROW(apply_radio_spec(bad, config), std::invalid_argument);
+  }
 }
 
 TEST(EnumLabelTest, Names) {

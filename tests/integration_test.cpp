@@ -94,7 +94,7 @@ TEST(IntegrationTest, SlpReducesCaptureAcrossSeeds) {
   // over the same seed set (and strictly less in aggregate when the
   // baseline captures at all).
   core::ExperimentConfig base;
-  base.topology = wsn::make_grid(7);
+  base.topology = wsn::TopologySpec::grid(7);
   base.parameters = fast_parameters(30);
   base.protocol = core::ProtocolKind::kProtectionlessDas;
   base.radio = core::RadioKind::kCasinoLab;
@@ -111,7 +111,7 @@ TEST(IntegrationTest, SlpReducesCaptureAcrossSeeds) {
 
 TEST(IntegrationTest, SchedulesStayValidUnderBurstyRadio) {
   core::ExperimentConfig config;
-  config.topology = wsn::make_grid(7);
+  config.topology = wsn::TopologySpec::grid(7);
   config.parameters = fast_parameters(30);
   config.protocol = core::ProtocolKind::kSlpDas;
   config.radio = core::RadioKind::kCasinoLab;

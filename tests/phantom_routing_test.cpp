@@ -90,7 +90,7 @@ TEST(PhantomRoutingTest, MessageOverheadIsMuchHigherThanDas) {
   // Phantom floods EVERY datum (N rebroadcasts each); DAS sends one
   // message per node per period total.
   core::ExperimentConfig das_config;
-  das_config.topology = wsn::make_grid(7);
+  das_config.topology = wsn::TopologySpec::grid(7);
   das_config.parameters = test::fast_parameters(24);
   das_config.protocol = core::ProtocolKind::kProtectionlessDas;
   das_config.radio = core::RadioKind::kIdeal;

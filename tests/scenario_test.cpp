@@ -20,6 +20,7 @@ const char* const kBuiltinNames[] = {
     "fig5a",       "fig5b",          "cmp_phantom", "abl_noise",
     "abl_attacker", "abl_schedulers", "abl_safety",  "table1",
     "message_overhead", "perf_sim",   "perf_verify", "scal_grid",
+    "custom",
 };
 
 Scenario dummy_scenario(std::string name) {
@@ -159,6 +160,132 @@ TEST(ScenarioSmokeTest, ScenariosShardAndMergeLikeAnySweep) {
   std::ostringstream merged;
   write_sweep_json(merged, merge_sweep_shards(std::move(shards)));
   EXPECT_EQ(merged.str(), full.str());
+}
+
+TEST(CustomScenarioTest, ComposesCellsFromRepeatedSets) {
+  ScenarioRegistry registry;
+  register_builtin_scenarios(registry);
+  const Scenario* custom = registry.find("custom");
+  ASSERT_NE(custom, nullptr);
+  EXPECT_TRUE(custom->accepts_sets);
+
+  // Two topologies x two protocols, values canonicalised by the spec
+  // parsers (slp_das -> slp-das, the grid spelled with its default
+  // spacing collapses to the canonical form).
+  ScenarioOptions options;
+  options.smoke = true;
+  options.sets = {{"topology", "grid:5x5:spacing=4.5"},
+                  {"topology", "line:6"},
+                  {"protocol", "protectionless-das"},
+                  {"protocol", "slp_das"},
+                  {"attacker", "R=2,D=min-slot"}};
+  const std::vector<SweepCell> cells = custom->make_cells(options);
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].label,
+            "topology=grid:5/protocol=protectionless-das/"
+            "attacker=R=2,H=0,M=1,D=min-slot");
+  EXPECT_EQ(cells[1].label,
+            "topology=grid:5/protocol=slp-das/"
+            "attacker=R=2,H=0,M=1,D=min-slot");
+  EXPECT_EQ(cells[2].coordinates[0].second, "line:6");
+  // The protocol axis is unseeded: both protocols of one topology share
+  // one seed stream (common random numbers).
+  EXPECT_EQ(cells[0].seed_label, cells[1].seed_label);
+  EXPECT_NE(cells[0].seed_label, cells[2].seed_label);
+  EXPECT_EQ(cells[1].config.protocol, ProtocolKind::kSlpDas);
+  EXPECT_EQ(cells[1].config.attacker.messages_per_move, 2);
+  EXPECT_EQ(cells[1].config.attacker.decision,
+            AttackerSpec::Decision::kMinSlot);
+}
+
+TEST(CustomScenarioTest, RunsAUnitDiskExperimentEndToEnd) {
+  // The ISSUE's acceptance shape, smoke-sized: a non-grid topology and a
+  // protocol composed purely from spec strings, through the sweep, the
+  // serialised document (config block included) and the report.
+  ScenarioRegistry registry;
+  register_builtin_scenarios(registry);
+  const Scenario* custom = registry.find("custom");
+  ASSERT_NE(custom, nullptr);
+
+  ScenarioOptions options;
+  options.smoke = true;
+  options.sets = {{"topology", "udisk:n=24,r=32,area=60,seed=7"},
+                  {"protocol", "slp-das"}};
+  ScenarioExecution execution;
+  execution.deterministic_timing = true;
+  ThreadPool pool(2);
+  const SweepJson document =
+      run_scenario(*custom, options, execution, pool);
+  ASSERT_EQ(document.cells.size(), 1u);
+  const SweepJsonCell& cell = document.cells[0];
+  EXPECT_EQ(cell.label,
+            "topology=udisk:n=24,r=32,area=60,seed=7/protocol=slp-das");
+  ASSERT_TRUE(cell.has_config);
+  EXPECT_EQ(cell.config_topology, "udisk:n=24,r=32,area=60,seed=7");
+  EXPECT_EQ(cell.config_protocol, "slp-das");
+  EXPECT_EQ(cell.config_attacker, "R=1,H=0,M=1,D=first-heard");
+  EXPECT_EQ(cell.config_radio, "casino-lab");
+  EXPECT_EQ(cell.capture_trials, 1u);
+
+  // Round-trips byte-stably, config block included.
+  std::stringstream stream;
+  write_sweep_json(stream, document);
+  const SweepJson reparsed = read_sweep_json(stream);
+  ASSERT_EQ(reparsed.cells.size(), 1u);
+  EXPECT_EQ(reparsed.cells[0].config_topology, cell.config_topology);
+  std::ostringstream rewritten;
+  write_sweep_json(rewritten, reparsed);
+  EXPECT_EQ(rewritten.str(), stream.str());
+
+  std::ostringstream report;
+  EXPECT_EQ(custom->report(report, reparsed, options), 0);
+  EXPECT_NE(report.str().find("udisk:n=24,r=32,area=60,seed=7"),
+            std::string::npos);
+}
+
+TEST(CustomScenarioTest, RejectsUnknownSetKeysAndBadSpecs) {
+  ScenarioRegistry registry;
+  register_builtin_scenarios(registry);
+  const Scenario* custom = registry.find("custom");
+  ASSERT_NE(custom, nullptr);
+  ScenarioOptions options;
+  options.sets = {{"topolgy", "grid:11"}};  // typo'd key
+  EXPECT_THROW((void)custom->make_cells(options), std::invalid_argument);
+  options.sets = {{"topology", "grid:4"}};  // even square side
+  EXPECT_THROW((void)custom->make_cells(options), std::invalid_argument);
+  options.sets = {{"attacker", "Z=3"}};  // unknown attacker key
+  EXPECT_THROW((void)custom->make_cells(options), std::invalid_argument);
+  options.sets = {{"radio", "noisy"}};  // unknown radio
+  EXPECT_THROW((void)custom->make_cells(options), std::invalid_argument);
+}
+
+TEST(ScenarioOptionsTest, UnsupportedOptionsAreNamedNotIgnored) {
+  ScenarioRegistry registry;
+  register_builtin_scenarios(registry);
+  const Scenario* fig5a = registry.find("fig5a");
+  const Scenario* table1 = registry.find("table1");
+  const Scenario* custom = registry.find("custom");
+  ASSERT_NE(fig5a, nullptr);
+  ASSERT_NE(table1, nullptr);
+  ASSERT_NE(custom, nullptr);
+
+  ScenarioOptions plain;
+  EXPECT_EQ(unsupported_option(*table1, plain, registry), "");
+
+  ScenarioOptions with_sd;
+  with_sd.search_distance = 5;
+  EXPECT_EQ(unsupported_option(*fig5a, with_sd, registry), "");
+  const std::string sd_problem =
+      unsupported_option(*table1, with_sd, registry);
+  EXPECT_NE(sd_problem.find("table1"), std::string::npos) << sd_problem;
+  EXPECT_NE(sd_problem.find("--sd"), std::string::npos) << sd_problem;
+
+  ScenarioOptions with_sets;
+  with_sets.sets = {{"topology", "grid:11"}};
+  EXPECT_EQ(unsupported_option(*custom, with_sets, registry), "");
+  const std::string set_problem =
+      unsupported_option(*fig5a, with_sets, registry);
+  EXPECT_NE(set_problem.find("--set"), std::string::npos) << set_problem;
 }
 
 TEST(ScenarioReportTest, RequireCellNamesTheMissingLabel) {

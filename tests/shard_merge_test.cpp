@@ -19,7 +19,7 @@ namespace {
 /// shard count exercises uneven partitions.
 std::vector<SweepCell> five_cells() {
   ExperimentConfig base;
-  base.topology = wsn::make_grid(5);
+  base.topology = wsn::TopologySpec::grid(5);
   base.parameters = test::fast_parameters(24);
   base.radio = RadioKind::kCasinoLab;
   base.runs = 2;
