@@ -22,12 +22,15 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "slpdas/core/cell_cache.hpp"
 #include "slpdas/core/scenario.hpp"
+#include "slpdas/detail/spec_format.hpp"
 #include "slpdas/metrics/table.hpp"
 
 namespace {
@@ -48,6 +51,8 @@ struct CliOptions {
   std::string out_dir = ".";
   std::string merge_out;     ///< merge: --out path ("" = stdout)
   std::string stream_path;   ///< run: --stream JSONL file ("" = off)
+  std::string cache_dir;     ///< run: --cache directory ("" = off)
+  bool cache_readonly = false;
 };
 
 int usage(std::ostream& out, int code) {
@@ -56,6 +61,7 @@ int usage(std::ostream& out, int code) {
          "  slpdas_bench [run] (--all | SCENARIO...) [options]\n"
          "  slpdas_bench report FILE...\n"
          "  slpdas_bench merge FILE... [--out PATH]\n"
+         "  slpdas_bench cache (stats | verify | gc) DIR\n"
          "\nrun options:\n"
          "  --runs N         seeds per grid cell (0 = scenario default)\n"
          "  --seed N         sweep base seed (0 = scenario default)\n"
@@ -73,7 +79,12 @@ int usage(std::ostream& out, int code) {
          "  --stream FILE    append one JSONL record per completed cell to\n"
          "                   FILE (slpdas.cell.v1) and resume from it if it\n"
          "                   already exists; one scenario per stream file\n"
-         "  --deterministic  zero wall clocks so output is bit-reproducible\n";
+         "  --deterministic  zero wall clocks so output is bit-reproducible\n"
+         "  --cache DIR      content-addressed cell result cache: serve\n"
+         "                   already-stored cells from DIR instead of\n"
+         "                   simulating them, store the rest on completion\n"
+         "                   (slpdas.cachecell.v1, one file per cell)\n"
+         "  --cache-readonly consult --cache DIR but never write to it\n";
   return code;
 }
 
@@ -162,6 +173,14 @@ int run_scenarios(const CliOptions& options) {
   execution.progress = options.progress ? &std::cerr : nullptr;
   execution.stream_path = options.stream_path;
 
+  // One cache across every selected scenario: overlapping grids (the
+  // whole point of content addressing) collapse to their distinct cells.
+  std::optional<core::CellCache> cache;
+  if (!options.cache_dir.empty()) {
+    cache.emplace(options.cache_dir, options.cache_readonly);
+    execution.cache = &*cache;
+  }
+
   const bool sharded = options.shard_count > 1;
   int exit_code = 0;
   for (std::size_t i = 0; i < selected.size(); ++i) {
@@ -175,8 +194,22 @@ int run_scenarios(const CliOptions& options) {
       std::cout << "(streaming cell records to " << options.stream_path
                 << "; a rerun with the same options resumes it)\n";
     }
+    const core::CellCacheStats cache_before =
+        cache ? cache->stats() : core::CellCacheStats{};
     const core::SweepJson document =
         core::run_scenario(scenario, options.scenario, execution, pool);
+    if (cache) {
+      const core::CellCacheStats s = cache->stats();
+      std::cout << "cache: " << (s.hits - cache_before.hits) << " hit(s), "
+                << (s.misses - cache_before.misses) << " miss(es), "
+                << (s.rejected - cache_before.rejected) << " rejected, "
+                << (s.stores - cache_before.stores) << " stored";
+      if (s.store_failures != cache_before.store_failures) {
+        std::cout << ", " << (s.store_failures - cache_before.store_failures)
+                  << " store failure(s)";
+      }
+      std::cout << " (" << cache->directory() << ")\n";
+    }
 
     if (options.json) {
       std::string path = options.out_dir + "/BENCH_" + scenario.name;
@@ -262,6 +295,45 @@ int merge_files(const std::vector<std::string>& paths,
   return 0;
 }
 
+int cache_command(const std::vector<std::string>& names) {
+  if (names.size() != 2 ||
+      (names[0] != "stats" && names[0] != "verify" && names[0] != "gc")) {
+    std::cerr << "usage: slpdas_bench cache (stats | verify | gc) DIR\n";
+    return 2;
+  }
+  const std::string& action = names[0];
+  const std::string& dir = names[1];
+  if (action == "gc") {
+    const core::CellCacheGcReport report = core::gc_cell_cache(dir);
+    std::cout << "cache gc " << dir << ": removed "
+              << report.removed_invalid << " invalid entr"
+              << (report.removed_invalid == 1 ? "y" : "ies") << " and "
+              << report.removed_temp << " stale tmp file(s), reclaimed "
+              << report.reclaimed_bytes << " bytes\n";
+    return 0;
+  }
+  const core::CellCacheScanReport report = core::scan_cell_cache(dir);
+  if (action == "stats") {
+    std::cout << "cache " << dir << ": " << report.entries.size()
+              << " entr" << (report.entries.size() == 1 ? "y" : "ies")
+              << " (" << report.valid << " valid, " << report.invalid
+              << " invalid), " << report.temp_files.size()
+              << " stale tmp file(s), " << report.total_bytes << " bytes\n";
+    return 0;
+  }
+  // verify: list every invalid entry with its first validation failure,
+  // and fail the process when any exists — the CI-able form of "a
+  // corrupted entry is recomputed, not trusted".
+  for (const core::CellCacheEntryReport& entry : report.entries) {
+    if (!entry.valid) {
+      std::cout << entry.path << ": " << entry.error << '\n';
+    }
+  }
+  std::cout << "cache verify " << dir << ": " << report.valid << " valid, "
+            << report.invalid << " invalid\n";
+  return report.invalid == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -272,7 +344,8 @@ int main(int argc, char** argv) {
   int first = 1;
   if (argc > 1) {
     const std::string arg = argv[1];
-    if (arg == "list" || arg == "run" || arg == "report" || arg == "merge") {
+    if (arg == "list" || arg == "run" || arg == "report" || arg == "merge" ||
+        arg == "cache") {
       command = arg;
       first = 2;
     }
@@ -287,26 +360,27 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    // Strict parses: reject trailing garbage and out-of-range values
-    // instead of silently truncating them into a different experiment.
+    // Strict whole-token parses (std::from_chars under the hood): reject
+    // leading whitespace, signs-for-unsigned, trailing garbage and
+    // out-of-range values instead of silently truncating them into a
+    // different experiment — and never consult the process locale.
     const auto next_int = [&](const char* flag) {
       const std::string value = next_value(flag);
-      std::size_t consumed = 0;
-      const int parsed = std::stoi(value, &consumed);
-      if (consumed != value.size()) {
-        throw std::invalid_argument("trailing characters in '" + value + "'");
+      const std::optional<int> parsed = detail::parse_int_token(value);
+      if (!parsed) {
+        throw std::invalid_argument("expected integer, got '" + value + "'");
       }
-      return parsed;
+      return *parsed;
     };
     const auto next_u64 = [&](const char* flag) {
       const std::string value = next_value(flag);
-      std::size_t consumed = 0;
-      const std::uint64_t parsed = std::stoull(value, &consumed);
-      if (consumed != value.size() || value.front() == '-') {
+      const std::optional<std::uint64_t> parsed =
+          detail::parse_u64_token(value);
+      if (!parsed) {
         throw std::invalid_argument("expected unsigned integer, got '" +
                                     value + "'");
       }
-      return parsed;
+      return *parsed;
     };
     try {
       if (arg == "--help" || arg == "-h") {
@@ -349,6 +423,10 @@ int main(int argc, char** argv) {
         options.merge_out = next_value("--out");
       } else if (arg == "--stream") {
         options.stream_path = next_value("--stream");
+      } else if (arg == "--cache") {
+        options.cache_dir = next_value("--cache");
+      } else if (arg == "--cache-readonly") {
+        options.cache_readonly = true;
       } else if (arg == "--deterministic") {
         options.deterministic = true;
       } else if (arg == "--shard") {
@@ -360,18 +438,18 @@ int main(int argc, char** argv) {
         }
         // Same strictness as the other numeric flags: a typo must not
         // silently run the wrong shard of an hours-long sweep.
-        std::size_t index_end = 0;
-        std::size_t count_end = 0;
-        const std::string count_text = value.substr(slash + 1);
-        options.shard_index = std::stoi(value.substr(0, slash), &index_end);
-        options.shard_count = std::stoi(count_text, &count_end);
-        if (index_end != slash || count_end != count_text.size() ||
-            options.shard_count < 1 || options.shard_index < 0 ||
-            options.shard_index >= options.shard_count) {
+        const std::optional<int> index =
+            detail::parse_int_token(value.substr(0, slash));
+        const std::optional<int> count =
+            detail::parse_int_token(value.substr(slash + 1));
+        if (!index || !count || *count < 1 || *index < 0 ||
+            *index >= *count) {
           std::cerr << "--shard " << value
                     << " is malformed or out of range (expects I/N)\n";
           return 2;
         }
+        options.shard_index = *index;
+        options.shard_count = *count;
       } else if (!arg.empty() && arg.front() == '-') {
         std::cerr << "unknown argument " << arg << '\n';
         return usage(std::cerr, 2);
@@ -393,6 +471,13 @@ int main(int argc, char** argv) {
     }
     if (command == "merge") {
       return merge_files(options.names, options.merge_out);
+    }
+    if (command == "cache") {
+      return cache_command(options.names);
+    }
+    if (options.cache_readonly && options.cache_dir.empty()) {
+      std::cerr << "--cache-readonly requires --cache DIR\n";
+      return 2;
     }
     return run_scenarios(options);
   } catch (const std::exception& error) {

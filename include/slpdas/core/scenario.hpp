@@ -124,6 +124,12 @@ struct ScenarioExecution {
   /// completed stream — bit-identical (under deterministic timing) to an
   /// uninterrupted, unstreamed run.
   std::string stream_path;
+  /// Optional content-addressed cell result cache (cell_cache.hpp),
+  /// passed through to SweepOptions::cache: cells whose canonical
+  /// identity is already stored are served from disk instead of being
+  /// simulated. Not owned; nullptr disables caching. Composes with
+  /// sharding and streaming — a hit is streamed like a computed cell.
+  CellCache* cache = nullptr;
 };
 
 /// Expands the scenario's cells and runs them on the caller's pool (the

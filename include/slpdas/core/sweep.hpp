@@ -32,6 +32,7 @@
 #include <functional>
 #include <iosfwd>
 #include <limits>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -41,6 +42,8 @@
 #include "slpdas/core/thread_pool.hpp"
 
 namespace slpdas::core {
+
+class CellCache;  // cell_cache.hpp — content-addressed cell result store
 
 /// One fully materialised point of the sweep grid.
 struct SweepCell {
@@ -137,69 +140,20 @@ struct SweepOptions {
   /// run; run_sweep neither re-runs nor re-reports them (their records
   /// are already in the stream file).
   std::vector<std::size_t> skip_cells;
+  /// Optional content-addressed result cache (cell_cache.hpp). Probed
+  /// once per cell BEFORE any of its runs is scheduled: a validated hit
+  /// skips the simulation entirely (the stored record is reported — and
+  /// streamed — exactly like a computed cell, so folds and documents stay
+  /// bit-identical to a cold run), a miss computes the cell and stores it
+  /// on completion. Not owned; nullptr disables caching.
+  CellCache* cache = nullptr;
 };
-
-struct SweepCellResult {
-  std::size_t index = 0;  ///< position in the FULL (unsharded) cell list
-  std::string label;
-  std::vector<std::pair<std::string, std::string>> coordinates;
-  std::uint64_t cell_seed = 0;
-  int runs = 0;
-  /// Canonical spec strings of the cell's ExperimentConfig (topology /
-  /// protocol / attacker / radio) — the per-cell "config" block of the
-  /// serialised document, so every cell names the experiment it ran
-  /// independently of how the axis labels were spelled.
-  std::string config_topology;
-  std::string config_protocol;
-  std::string config_attacker;
-  std::string config_radio;
-  ExperimentResult result;
-  double wall_seconds = 0.0;
-  /// Whether the serialised cell carries the perf telemetry block
-  /// (events/deliveries/timer fires/events-per-second). run_sweep sets it
-  /// for real-clock runs only: under deterministic timing the block is
-  /// omitted entirely, so "slpdas.sweep.v2" documents stay byte-identical
-  /// to pre-telemetry output and the merge/stream bit-identity contract
-  /// is untouched.
-  bool record_perf = false;
-};
-
-struct SweepResult {
-  std::vector<SweepCellResult> cells;  ///< this shard's cells, grid order
-  std::uint64_t base_seed = 0;  ///< the sweep seed every cell derived from
-  /// Fingerprint of the FULL grid (every cell's label, seed label and run
-  /// count, in order) — identical across shards of one sweep because each
-  /// shard is handed the whole cell list. Lets merge refuse shards that
-  /// were produced from different grids (e.g. mismatched --sd or --runs).
-  std::uint64_t grid_hash = 0;
-  int shard_index = 0;
-  int shard_count = 1;
-  std::size_t cells_total = 0;  ///< full grid size across all shards
-  int threads = 0;              ///< pool size used
-  /// Distinct worker-thread ids observed across ALL cells; with a shared
-  /// pool this never exceeds `threads` no matter how many cells ran.
-  int distinct_worker_threads = 0;
-  double wall_seconds = 0.0;
-};
-
-/// Runs every (cell, run) pair of this shard on an internally owned pool
-/// of `options.threads` workers. `config.runs` supplies the run count; run
-/// `i` of a cell uses derive_seed(derive_cell_seed(options.base_seed,
-/// seed label), i) — each cell's `config.base_seed` and `config.threads`
-/// are ignored (seeds are sweep-derived, the pool is shared). Throws
-/// std::invalid_argument on duplicate labels, a cell with runs < 1, or an
-/// invalid shard spec. Deterministic in (cells, options.base_seed).
-[[nodiscard]] SweepResult run_sweep(const std::vector<SweepCell>& cells,
-                                    const SweepOptions& options);
-
-/// Same, but on a caller-provided pool so several sweeps can share one.
-[[nodiscard]] SweepResult run_sweep(const std::vector<SweepCell>& cells,
-                                    const SweepOptions& options,
-                                    ThreadPool& pool);
 
 /// Parsed/serialisable view of a sweep JSON document. This is the value
 /// model behind the single JSON writer: SweepResults convert into it, the
-/// reader produces it, and merge_sweep_shards combines instances of it.
+/// reader produces it, merge_sweep_shards combines instances of it, and
+/// CellCache stores cells of it. (Defined before SweepCellResult because a
+/// cache hit carries the stored cell through the result.)
 struct SweepJsonStats {
   std::uint64_t count = 0;
   double mean = 0.0;
@@ -258,6 +212,70 @@ struct SweepJsonCell {
   /// Coordinate value for axis `name`, or nullptr when absent.
   [[nodiscard]] const std::string* coordinate(std::string_view name) const;
 };
+
+struct SweepCellResult {
+  std::size_t index = 0;  ///< position in the FULL (unsharded) cell list
+  std::string label;
+  std::vector<std::pair<std::string, std::string>> coordinates;
+  std::uint64_t cell_seed = 0;
+  int runs = 0;
+  /// Canonical spec strings of the cell's ExperimentConfig (topology /
+  /// protocol / attacker / radio) — the per-cell "config" block of the
+  /// serialised document, so every cell names the experiment it ran
+  /// independently of how the axis labels were spelled.
+  std::string config_topology;
+  std::string config_protocol;
+  std::string config_attacker;
+  std::string config_radio;
+  ExperimentResult result;
+  double wall_seconds = 0.0;
+  /// Whether the serialised cell carries the perf telemetry block
+  /// (events/deliveries/timer fires/events-per-second). run_sweep sets it
+  /// for real-clock runs only: under deterministic timing the block is
+  /// omitted entirely, so "slpdas.sweep.v2" documents stay byte-identical
+  /// to pre-telemetry output and the merge/stream bit-identity contract
+  /// is untouched.
+  bool record_perf = false;
+  /// Set on a cache hit: the validated stored record, with THIS sweep's
+  /// index/label/coordinates grafted back on. When present it IS the
+  /// cell's serialised form — `result` above is default-constructed
+  /// (ExperimentResult cannot be reconstructed bit-exactly from the
+  /// aggregated JSON stats) and to_sweep_json emits this record instead.
+  std::optional<SweepJsonCell> cached;
+};
+
+struct SweepResult {
+  std::vector<SweepCellResult> cells;  ///< this shard's cells, grid order
+  std::uint64_t base_seed = 0;  ///< the sweep seed every cell derived from
+  /// Fingerprint of the FULL grid (every cell's label, seed label and run
+  /// count, in order) — identical across shards of one sweep because each
+  /// shard is handed the whole cell list. Lets merge refuse shards that
+  /// were produced from different grids (e.g. mismatched --sd or --runs).
+  std::uint64_t grid_hash = 0;
+  int shard_index = 0;
+  int shard_count = 1;
+  std::size_t cells_total = 0;  ///< full grid size across all shards
+  int threads = 0;              ///< pool size used
+  /// Distinct worker-thread ids observed across ALL cells; with a shared
+  /// pool this never exceeds `threads` no matter how many cells ran.
+  int distinct_worker_threads = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Runs every (cell, run) pair of this shard on an internally owned pool
+/// of `options.threads` workers. `config.runs` supplies the run count; run
+/// `i` of a cell uses derive_seed(derive_cell_seed(options.base_seed,
+/// seed label), i) — each cell's `config.base_seed` and `config.threads`
+/// are ignored (seeds are sweep-derived, the pool is shared). Throws
+/// std::invalid_argument on duplicate labels, a cell with runs < 1, or an
+/// invalid shard spec. Deterministic in (cells, options.base_seed).
+[[nodiscard]] SweepResult run_sweep(const std::vector<SweepCell>& cells,
+                                    const SweepOptions& options);
+
+/// Same, but on a caller-provided pool so several sweeps can share one.
+[[nodiscard]] SweepResult run_sweep(const std::vector<SweepCell>& cells,
+                                    const SweepOptions& options,
+                                    ThreadPool& pool);
 
 struct SweepJson {
   std::string schema;  ///< "slpdas.sweep.v2" when written by this library

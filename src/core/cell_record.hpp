@@ -1,0 +1,23 @@
+// Internal bridge between the sweep JSON reader (src/core/sweep.cpp) and
+// the cell-result cache (src/core/cell_cache.cpp): both deserialise the
+// same cell object — a "slpdas.sweep.v2" cells[] entry, a "slpdas.cell.v1"
+// stream record, and a "slpdas.cachecell.v1" payload line share one field
+// set and one parser. Not installed.
+#pragma once
+
+#include <cstdint>
+
+#include "json.hpp"
+#include "slpdas/core/sweep.hpp"
+
+namespace slpdas::core::detail {
+
+/// Parses one serialised cell object. `v2` selects the current field set
+/// (false accepts legacy "slpdas.sweep.v1" cells, which lack an index —
+/// `fallback_index` supplies their position). Throws std::runtime_error
+/// on malformed or incomplete input. Defined in sweep.cpp.
+[[nodiscard]] SweepJsonCell parse_cell_json(const JsonParser::Value& cell_value,
+                                            bool v2,
+                                            std::uint64_t fallback_index);
+
+}  // namespace slpdas::core::detail

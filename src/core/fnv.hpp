@@ -1,0 +1,33 @@
+// Internal FNV-1a 64-bit hashing shared by the sweep grid fingerprint
+// (src/core/sweep.cpp) and the cell-cache key (src/core/cell_cache.cpp).
+// Not installed.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace slpdas::core::detail {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+[[nodiscard]] constexpr std::uint64_t fnv1a_bytes(std::uint64_t hash,
+                                                  std::string_view text) {
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// Hashes one field and a terminator, so ("ab","c") and ("a","bc") hash
+/// differently when folded field by field.
+[[nodiscard]] constexpr std::uint64_t fnv1a_field(std::uint64_t hash,
+                                                  std::string_view text) {
+  hash = fnv1a_bytes(hash, text);
+  hash ^= 0xff;
+  hash *= kFnvPrime;
+  return hash;
+}
+
+}  // namespace slpdas::core::detail

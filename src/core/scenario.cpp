@@ -128,6 +128,7 @@ SweepJson run_scenario(const Scenario& scenario,
   sweep_options.shard_index = execution.shard_index;
   sweep_options.shard_count = execution.shard_count;
   sweep_options.deterministic_timing = execution.deterministic_timing;
+  sweep_options.cache = execution.cache;
 
   if (execution.stream_path.empty()) {
     const SweepResult sweep = run_sweep(cells, sweep_options, pool);

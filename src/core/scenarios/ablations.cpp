@@ -258,7 +258,7 @@ int report_safety(std::ostream& out, const SweepJson& document,
                   const ScenarioOptions&) {
   using metrics::Table;
   const std::vector<std::string> sides = axis_values(document, "side");
-  const int side = sides.empty() ? 11 : std::stoi(sides.front());
+  const int side = sides.empty() ? 11 : parse_side_label(sides.front());
   const int runs = document.cells.empty() ? 0 : document.cells.front().runs;
   out << "Ablation: safety factor Cs (Eq. 1) on the " << side << "x" << side
       << " grid (" << runs << " runs per cell)\n\n";
@@ -275,7 +275,7 @@ int report_safety(std::ostream& out, const SweepJson& document,
         document, prefix + "/protocol=" + to_string(ProtocolKind::kSlpDas));
     // Recompute Eq. 1 for this Cs so the table shows the actual safety
     // period the runs used (the same computation run_single performs).
-    const double cs = std::stod(cs_text);
+    const double cs = parse_cs_label(cs_text);
     const verify::SafetyPeriod safety = verify::compute_safety_period(
         topology.graph, topology.source, topology.sink, cs);
     table.add_row({cs_text, std::to_string(safety.periods),
@@ -354,7 +354,7 @@ int report_schedulers(std::ostream& out, const SweepJson& document,
   Table table({"grid", "scheduler", "slot band", "density",
                "exposed nodes (of N)", "mean span over seeds"});
   for (const std::string& side_text : axis_values(document, "side")) {
-    const int side = std::stoi(side_text);
+    const int side = parse_side_label(side_text);
     const SweepJsonCell& cell = require_cell(document, "side=" + side_text);
     const wsn::Topology topology = wsn::make_grid(side);
     const std::string grid_label = side_text + "x" + side_text;

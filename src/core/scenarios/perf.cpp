@@ -140,7 +140,7 @@ int report_perf_verify(std::ostream& out, const SweepJson& document,
   const int reps = options.smoke ? 2 : 10;
   Table table({"grid", "procedure", "mean ms/call"});
   for (const std::string& side_text : axis_values(document, "side")) {
-    const int side = std::stoi(side_text);
+    const int side = parse_side_label(side_text);
     const wsn::Topology topology = wsn::make_grid(side);
     const mac::Schedule schedule =
         das::build_centralized_das(topology.graph, topology.sink).schedule;

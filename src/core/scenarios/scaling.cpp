@@ -58,8 +58,10 @@ int report_scal_grid(std::ostream& out, const SweepJson& document,
   for (const SweepJsonCell& cell : document.cells) {
     const std::string* side = cell.coordinate("side");
     const long long nodes =
-        side == nullptr ? 0 : static_cast<long long>(std::stoi(*side)) *
-                                  std::stoi(*side);
+        side == nullptr
+            ? 0
+            : static_cast<long long>(parse_side_label(*side)) *
+                  parse_side_label(*side);
     table.add_row(
         {side == nullptr ? "?" : *side, std::to_string(nodes),
          Table::cell(cell.capture_ratio, 3),

@@ -79,7 +79,7 @@ int report_table1(std::ostream& out, const SweepJson& document,
       std::to_string(p.search_distance));
   // CL is derived per topology; show the grids the sweep ran.
   for (const std::string& side_text : axis_values(document, "side")) {
-    const int side = std::stoi(side_text);
+    const int side = parse_side_label(side_text);
     const auto grid = wsn::make_grid(side);
     row("Change length (" + side_text + "x" + side_text + ", SD=3)", "CL",
         std::to_string(2 * (side / 2) - 3),  // Delta_ss - SD

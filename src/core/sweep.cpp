@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cctype>
 #include <charconv>
 #include <chrono>
 #include <cmath>
@@ -17,6 +16,12 @@
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+#include <utility>
+
+#include "cell_record.hpp"
+#include "fnv.hpp"
+#include "json.hpp"
+#include "slpdas/core/cell_cache.hpp"
 
 namespace slpdas::core {
 
@@ -79,31 +84,12 @@ std::vector<SweepCell> SweepGrid::expand() const {
   return cells;
 }
 
-namespace {
-
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
-
-std::uint64_t fnv1a(std::uint64_t hash, std::string_view text) {
-  for (const char c : text) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= kFnvPrime;
-  }
-  // Terminator so ("ab","c") and ("a","bc") hash differently when folded
-  // field by field.
-  hash ^= 0xff;
-  hash *= kFnvPrime;
-  return hash;
-}
-
-}  // namespace
-
 std::uint64_t hash_sweep_grid(const std::vector<SweepCell>& cells) {
-  std::uint64_t hash = kFnvOffset;
+  std::uint64_t hash = detail::kFnvOffset;
   for (const SweepCell& cell : cells) {
-    hash = fnv1a(hash, cell.label);
-    hash = fnv1a(hash, cell.seed_label);
-    hash = fnv1a(hash, std::to_string(cell.config.runs));
+    hash = detail::fnv1a_field(hash, cell.label);
+    hash = detail::fnv1a_field(hash, cell.seed_label);
+    hash = detail::fnv1a_field(hash, std::to_string(cell.config.runs));
   }
   return hash;
 }
@@ -112,12 +98,7 @@ std::uint64_t derive_cell_seed(std::uint64_t base_seed,
                                std::string_view label) {
   // FNV-1a over the label keeps the seed a pure function of the cell's
   // identity, not its position in the grid.
-  std::uint64_t hash = kFnvOffset;
-  for (const char c : label) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= kFnvPrime;
-  }
-  return derive_seed(base_seed, hash);
+  return derive_seed(base_seed, detail::fnv1a_bytes(detail::kFnvOffset, label));
 }
 
 // ---------------------------------------------------------------------------
@@ -222,15 +203,19 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
   std::string progress_pending;
   Clock::time_point progress_last_flush = sweep_start;
 
+  // Metadata for every cell of this shard first (grid position, derived
+  // seed, canonical spec strings): both the cache probe and the workers
+  // read it.
+  std::vector<std::uint64_t> cell_seeds(mine.size(), 0);
   for (std::size_t m = 0; m < mine.size(); ++m) {
     const SweepCell& cell = cells[mine[m]];
-    const std::uint64_t cell_seed = derive_cell_seed(
+    cell_seeds[m] = derive_cell_seed(
         options.base_seed,
         cell.seed_label.empty() ? cell.label : cell.seed_label);
     sweep.cells[m].index = mine[m];
     sweep.cells[m].label = cell.label;
     sweep.cells[m].coordinates = cell.coordinates;
-    sweep.cells[m].cell_seed = cell_seed;
+    sweep.cells[m].cell_seed = cell_seeds[m];
     sweep.cells[m].runs = cell.config.runs;
     sweep.cells[m].config_topology = cell.config.topology.to_string();
     sweep.cells[m].config_protocol = format_protocol_spec(
@@ -238,6 +223,85 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
     sweep.cells[m].config_attacker = cell.config.attacker.to_spec();
     sweep.cells[m].config_radio =
         format_radio_spec(cell.config.radio, cell.config.loss_probability);
+  }
+
+  // Consult the result cache BEFORE any run is scheduled: a validated hit
+  // skips the cell entirely (not even its topology is built). Hits are
+  // reported — and streamed — right here, exactly like computed cells, so
+  // the stream and the folded document stay bit-identical to a cold run;
+  // no worker has started yet, so no lock is needed and a stream-write
+  // failure can simply throw.
+  std::vector<char> cached(mine.size(), 0);
+  if (options.cache != nullptr) {
+    for (std::size_t m = 0; m < mine.size(); ++m) {
+      const SweepCell& cell = cells[mine[m]];
+      std::optional<SweepJsonCell> hit = options.cache->lookup(
+          make_cell_cache_key(cell.config, cell_seeds[m],
+                              options.deterministic_timing));
+      if (!hit) {
+        continue;
+      }
+      SweepCellResult& out = sweep.cells[m];
+      // Graft THIS sweep's grid position onto the stored record: the key
+      // pins the experiment's identity, not where the cell sits in the
+      // current grid or how its axis labels are spelled.
+      hit->index = out.index;
+      hit->label = out.label;
+      hit->coordinates = out.coordinates;
+      hit->cell_seed = out.cell_seed;
+      hit->runs = out.runs;
+      hit->has_config = true;
+      hit->config_topology = out.config_topology;
+      hit->config_protocol = out.config_protocol;
+      hit->config_attacker = out.config_attacker;
+      hit->config_radio = out.config_radio;
+      // The stored wall clock (the ORIGINAL compute time — zero under
+      // deterministic timing, whose records live under a separate key)
+      // rides along unchanged.
+      out.wall_seconds = hit->wall_seconds;
+      out.record_perf = hit->has_perf;
+      out.cached = std::move(hit);
+      cached[m] = 1;
+      if (options.stream != nullptr) {
+        std::ostringstream line;
+        write_cell_stream_record(line, *out.cached);
+        *options.stream << line.str();
+        options.stream->flush();
+        if (!options.stream->good()) {
+          throw std::runtime_error(
+              "cell stream write failed (disk full?) — fix the volume and "
+              "resume from the stream file");
+        }
+      }
+      ++cells_finished;
+      if (options.progress != nullptr) {
+        progress_pending += '[';
+        progress_pending += std::to_string(cells_finished);
+        progress_pending += '/';
+        progress_pending += std::to_string(mine.size());
+        progress_pending += "] ";
+        progress_pending += cell.label;
+        progress_pending += " capture=";
+        progress_pending += std::to_string(out.cached->capture_successes);
+        progress_pending += '/';
+        progress_pending += std::to_string(out.cached->capture_trials);
+        progress_pending += " (cached)\n";
+      }
+    }
+    if (!progress_pending.empty() && options.progress != nullptr) {
+      *options.progress << progress_pending;
+      options.progress->flush();
+      progress_pending.clear();
+      progress_last_flush = Clock::now();
+    }
+  }
+
+  for (std::size_t m = 0; m < mine.size(); ++m) {
+    if (cached[m] != 0) {
+      continue;
+    }
+    const SweepCell& cell = cells[mine[m]];
+    const std::uint64_t cell_seed = cell_seeds[m];
 
     progress[m].runs.resize(static_cast<std::size_t>(cell.config.runs));
     progress[m].remaining.store(cell.config.runs);
@@ -264,11 +328,23 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
             state.runs[static_cast<std::size_t>(run)] =
                 run_single(cell.config, state.topology, seed);
           }
+        } catch (const std::exception& error) {
+          // Name the failing cell: a sweep can run thousands of them, and
+          // "stream resume skipped cell X because Y" is the difference
+          // between a fixable setup error and a mystery.
+          state.failed.store(true);
+          const std::scoped_lock lock(mutex);
+          if (!first_error) {
+            first_error = std::make_exception_ptr(std::runtime_error(
+                "sweep cell '" + cell.label + "': " + error.what()));
+          }
         } catch (...) {
           state.failed.store(true);
           const std::scoped_lock lock(mutex);
           if (!first_error) {
-            first_error = std::current_exception();
+            first_error = std::make_exception_ptr(std::runtime_error(
+                "sweep cell '" + cell.label +
+                "': unknown exception in worker"));
           }
         }
         {
@@ -290,13 +366,26 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
           // deterministic documents stay byte-identical to the
           // pre-telemetry schema.
           out.record_perf = !options.deterministic_timing;
-          // Compose the stream record off-stream and off-lock; a cell with
-          // a failed run is never recorded (a resume must not trust it).
+          // Compose the stream record — and populate the cache — off-lock;
+          // a cell with a failed run is neither recorded nor stored (a
+          // resume, and a later cache hit, must not trust it).
           std::string record;
-          if (options.stream != nullptr && !state.failed.load()) {
-            std::ostringstream line;
-            write_cell_stream_record(line, to_json_cell(out));
-            record = line.str();
+          if ((options.stream != nullptr || options.cache != nullptr) &&
+              !state.failed.load()) {
+            const SweepJsonCell json_cell = to_json_cell(out);
+            if (options.stream != nullptr) {
+              std::ostringstream line;
+              write_cell_stream_record(line, json_cell);
+              record = line.str();
+            }
+            if (options.cache != nullptr) {
+              // Store failures are non-fatal (counted in the cache's
+              // stats): the sweep still holds the computed result.
+              options.cache->store(
+                  make_cell_cache_key(cell.config, cell_seed,
+                                      options.deterministic_timing),
+                  json_cell);
+            }
           }
           const std::scoped_lock lock(mutex);
           if (!record.empty()) {
@@ -393,31 +482,7 @@ void write_double(std::ostream& out, double value) {
 }
 
 void write_string(std::ostream& out, std::string_view text) {
-  out << '"';
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out << "\\\"";
-        break;
-      case '\\':
-        out << "\\\\";
-        break;
-      case '\n':
-        out << "\\n";
-        break;
-      case '\t':
-        out << "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out << "\\u" << std::hex << std::setw(4) << std::setfill('0')
-              << static_cast<int>(c) << std::dec << std::setfill(' ');
-        } else {
-          out << c;
-        }
-    }
-  }
-  out << '"';
+  detail::write_json_string(out, text);
 }
 
 void write_stats(std::ostream& out, const SweepJsonStats& stats) {
@@ -443,6 +508,13 @@ SweepJsonStats to_json_stats(const metrics::RunningStats& stats) {
 }
 
 SweepJsonCell to_json_cell(const SweepCellResult& cell) {
+  if (cell.cached) {
+    // Cache hit: the stored record (grid position already grafted on by
+    // run_sweep) IS the cell's serialised form — re-deriving it from
+    // `result` would fabricate stats from a default-constructed
+    // ExperimentResult.
+    return *cell.cached;
+  }
   SweepJsonCell out;
   out.index = cell.index;
   out.label = cell.label;
@@ -645,323 +717,12 @@ void write_sweep_json(std::ostream& out, const SweepResult& result,
 }
 
 // ---------------------------------------------------------------------------
-// JSON reading (minimal recursive-descent parser, enough for v1/v2)
+// JSON reading (shared strict parser: src/core/json.hpp)
 // ---------------------------------------------------------------------------
 
 namespace {
 
-class JsonParser {
- public:
-  explicit JsonParser(std::istream& in) : text_(read_all(in)) {}
-
-  // -- generic value model --------------------------------------------------
-  struct Value;
-  using Object = std::vector<std::pair<std::string, Value>>;
-  using Array = std::vector<Value>;
-
-  struct Value {
-    enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
-    Kind kind = Kind::kNull;
-    bool boolean = false;
-    double number = 0.0;
-    std::string raw;  ///< number token verbatim, for exact integer parses
-    std::string string;
-    Object object;
-    Array array;
-
-    [[nodiscard]] const Value* find(std::string_view key) const {
-      if (kind != Kind::kObject) {
-        throw std::runtime_error("sweep json: expected object");
-      }
-      for (const auto& [k, v] : object) {
-        if (k == key) {
-          return &v;
-        }
-      }
-      return nullptr;
-    }
-
-    [[nodiscard]] const Value& at(std::string_view key) const {
-      const Value* value = find(key);
-      if (value == nullptr) {
-        throw std::runtime_error("sweep json: missing key '" +
-                                 std::string(key) + "'");
-      }
-      return *value;
-    }
-
-    [[nodiscard]] double as_number() const {
-      if (kind == Kind::kNull) {
-        return std::numeric_limits<double>::quiet_NaN();
-      }
-      if (kind != Kind::kNumber) {
-        throw std::runtime_error("sweep json: expected number");
-      }
-      return number;
-    }
-
-    /// Exact 64-bit parse from the raw token; doubles would silently lose
-    /// the low bits of seeds above 2^53.
-    [[nodiscard]] std::uint64_t as_u64() const {
-      if (kind != Kind::kNumber || raw.empty() ||
-          raw.find_first_of(".eE-+") != std::string::npos) {
-        throw std::runtime_error("sweep json: expected unsigned integer");
-      }
-      try {
-        std::size_t consumed = 0;
-        const std::uint64_t value = std::stoull(raw, &consumed);
-        if (consumed != raw.size()) {
-          throw std::runtime_error("");
-        }
-        return value;
-      } catch (const std::exception&) {
-        throw std::runtime_error("sweep json: bad integer: " + raw);
-      }
-    }
-
-    [[nodiscard]] bool as_bool() const {
-      if (kind != Kind::kBool) {
-        throw std::runtime_error("sweep json: expected boolean");
-      }
-      return boolean;
-    }
-
-    [[nodiscard]] const std::string& as_string() const {
-      if (kind != Kind::kString) {
-        throw std::runtime_error("sweep json: expected string");
-      }
-      return string;
-    }
-
-    [[nodiscard]] const Array& as_array() const {
-      if (kind != Kind::kArray) {
-        throw std::runtime_error("sweep json: expected array");
-      }
-      return array;
-    }
-
-    [[nodiscard]] const Object& as_object() const {
-      if (kind != Kind::kObject) {
-        throw std::runtime_error("sweep json: expected object");
-      }
-      return object;
-    }
-  };
-
-  Value parse() {
-    const Value value = parse_value();
-    skip_whitespace();
-    if (pos_ != text_.size()) {
-      throw std::runtime_error("sweep json: trailing content");
-    }
-    return value;
-  }
-
- private:
-  static std::string read_all(std::istream& in) {
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    return buffer.str();
-  }
-
-  void skip_whitespace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_whitespace();
-    if (pos_ >= text_.size()) {
-      throw std::runtime_error("sweep json: unexpected end of input");
-    }
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) {
-      throw std::runtime_error(std::string("sweep json: expected '") + c +
-                               "' at offset " + std::to_string(pos_));
-    }
-    ++pos_;
-  }
-
-  bool consume_literal(std::string_view literal) {
-    if (text_.compare(pos_, literal.size(), literal) == 0) {
-      pos_ += literal.size();
-      return true;
-    }
-    return false;
-  }
-
-  Value parse_value() {
-    const char c = peek();
-    Value value;
-    switch (c) {
-      case '{':
-        value.kind = Value::Kind::kObject;
-        value.object = parse_object();
-        return value;
-      case '[':
-        value.kind = Value::Kind::kArray;
-        value.array = parse_array();
-        return value;
-      case '"':
-        value.kind = Value::Kind::kString;
-        value.string = parse_string();
-        return value;
-      case 't':
-        if (consume_literal("true")) {
-          value.kind = Value::Kind::kBool;
-          value.boolean = true;
-          return value;
-        }
-        break;
-      case 'f':
-        if (consume_literal("false")) {
-          value.kind = Value::Kind::kBool;
-          return value;
-        }
-        break;
-      case 'n':
-        if (consume_literal("null")) {
-          return value;
-        }
-        break;
-      default:
-        value.kind = Value::Kind::kNumber;
-        value.raw = parse_number_token();
-        try {
-          // Greedy tokenisation can grab garbage like "1-2"; requiring
-          // stod to consume the whole token rejects it.
-          std::size_t consumed = 0;
-          value.number = std::stod(value.raw, &consumed);
-          if (consumed != value.raw.size()) {
-            throw std::runtime_error("");
-          }
-        } catch (const std::exception&) {
-          throw std::runtime_error("sweep json: malformed number: " +
-                                   value.raw);
-        }
-        return value;
-    }
-    throw std::runtime_error("sweep json: malformed value at offset " +
-                             std::to_string(pos_));
-  }
-
-  Object parse_object() {
-    Object object;
-    expect('{');
-    if (peek() == '}') {
-      ++pos_;
-      return object;
-    }
-    for (;;) {
-      std::string key = parse_string();
-      expect(':');
-      object.emplace_back(std::move(key), parse_value());
-      const char c = peek();
-      ++pos_;
-      if (c == '}') {
-        return object;
-      }
-      if (c != ',') {
-        throw std::runtime_error("sweep json: expected ',' or '}'");
-      }
-    }
-  }
-
-  Array parse_array() {
-    Array array;
-    expect('[');
-    if (peek() == ']') {
-      ++pos_;
-      return array;
-    }
-    for (;;) {
-      array.push_back(parse_value());
-      const char c = peek();
-      ++pos_;
-      if (c == ']') {
-        return array;
-      }
-      if (c != ',') {
-        throw std::runtime_error("sweep json: expected ',' or ']'");
-      }
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') {
-        return out;
-      }
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) {
-        break;
-      }
-      const char escaped = text_[pos_++];
-      switch (escaped) {
-        case '"':
-        case '\\':
-        case '/':
-          out += escaped;
-          break;
-        case 'n':
-          out += '\n';
-          break;
-        case 't':
-          out += '\t';
-          break;
-        case 'r':
-          out += '\r';
-          break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            throw std::runtime_error("sweep json: truncated \\u escape");
-          }
-          int code = 0;
-          try {
-            code = std::stoi(text_.substr(pos_, 4), nullptr, 16);
-          } catch (const std::exception&) {
-            throw std::runtime_error("sweep json: malformed \\u escape");
-          }
-          pos_ += 4;
-          // Documents only escape control characters, all < 0x80.
-          out += static_cast<char>(code);
-          break;
-        }
-        default:
-          throw std::runtime_error("sweep json: unknown escape");
-      }
-    }
-    throw std::runtime_error("sweep json: unterminated string");
-  }
-
-  std::string parse_number_token() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (start == pos_) {
-      throw std::runtime_error("sweep json: malformed number");
-    }
-    return text_.substr(start, pos_ - start);
-  }
-
-  std::string text_;
-  std::size_t pos_ = 0;
-};
+using detail::JsonParser;
 
 SweepJsonStats parse_stats(const JsonParser::Value& value) {
   SweepJsonStats stats;
@@ -973,10 +734,15 @@ SweepJsonStats parse_stats(const JsonParser::Value& value) {
   return stats;
 }
 
-/// One cell object — shared between the v1/v2 document reader and the
-/// cell-stream reader (whose records carry the same field set as v2).
-SweepJsonCell parse_cell(const JsonParser::Value& cell_value, bool v2,
-                         std::uint64_t fallback_index) {
+}  // namespace
+
+namespace detail {
+
+// One cell object — shared between the v1/v2 document reader, the
+// cell-stream reader and the result cache (whose records all carry the
+// same field set as v2). Declared in cell_record.hpp.
+SweepJsonCell parse_cell_json(const JsonParser::Value& cell_value, bool v2,
+                              std::uint64_t fallback_index) {
   SweepJsonCell cell;
   cell.index = v2 ? cell_value.at("index").as_u64() : fallback_index;
   cell.label = cell_value.at("label").as_string();
@@ -1034,7 +800,7 @@ SweepJsonCell parse_cell(const JsonParser::Value& cell_value, bool v2,
   return cell;
 }
 
-}  // namespace
+}  // namespace detail
 
 SweepJson read_sweep_json(std::istream& in) {
   JsonParser parser(in);
@@ -1065,7 +831,7 @@ SweepJson read_sweep_json(std::istream& in) {
   document.wall_seconds = root.at("wall_seconds").as_number();
 
   for (const JsonParser::Value& cell_value : root.at("cells").as_array()) {
-    document.cells.push_back(parse_cell(
+    document.cells.push_back(detail::parse_cell_json(
         cell_value, v2, static_cast<std::uint64_t>(document.cells.size())));
   }
   if (!v2) {
@@ -1247,7 +1013,7 @@ CellStream read_cell_stream(std::istream& in) {
       have_header = true;
       continue;
     }
-    SweepJsonCell cell = parse_cell(root, /*v2=*/true, 0);
+    SweepJsonCell cell = detail::parse_cell_json(root, /*v2=*/true, 0);
     if (cell.index >= stream.header.cells_total) {
       throw std::runtime_error("cell stream: cell index " +
                                std::to_string(cell.index) +

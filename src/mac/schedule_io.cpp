@@ -1,11 +1,14 @@
 #include "slpdas/mac/schedule_io.hpp"
 
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
+
+#include "slpdas/detail/spec_format.hpp"
 
 namespace slpdas::mac {
 
@@ -37,13 +40,17 @@ Schedule read_schedule_csv(std::istream& in) {
       throw std::invalid_argument("read_schedule_csv: missing comma in '" +
                                   line + "'");
     }
-    wsn::NodeId node = 0;
-    try {
-      node = static_cast<wsn::NodeId>(std::stol(line.substr(0, comma)));
-    } catch (const std::exception&) {
+    // Whole-token, locale-free parse: std::stol accepted leading
+    // whitespace and trailing garbage ("7 junk,3" parsed as node 7), so
+    // malformed CSV rows decoded to a plausible schedule instead of
+    // failing.
+    const std::optional<int> node_value =
+        slpdas::detail::parse_int_token(line.substr(0, comma));
+    if (!node_value.has_value() || *node_value < 0) {
       throw std::invalid_argument("read_schedule_csv: bad node in '" + line +
                                   "'");
     }
+    const wsn::NodeId node = static_cast<wsn::NodeId>(*node_value);
     if (node != expected) {
       throw std::invalid_argument(
           "read_schedule_csv: nodes must be dense and ordered; expected " +
@@ -55,13 +62,13 @@ Schedule read_schedule_csv(std::istream& in) {
       entries.emplace_back(node, kNoSlot);
       has_slot.push_back(0);
     } else {
-      try {
-        entries.emplace_back(node,
-                             static_cast<SlotId>(std::stol(slot_field)));
-      } catch (const std::exception&) {
+      const std::optional<int> slot_value =
+          slpdas::detail::parse_int_token(slot_field);
+      if (!slot_value.has_value()) {
         throw std::invalid_argument("read_schedule_csv: bad slot in '" + line +
                                     "'");
       }
+      entries.emplace_back(node, static_cast<SlotId>(*slot_value));
       has_slot.push_back(1);
     }
   }

@@ -288,6 +288,46 @@ TEST(ScenarioOptionsTest, UnsupportedOptionsAreNamedNotIgnored) {
   EXPECT_NE(set_problem.find("--set"), std::string::npos) << set_problem;
 }
 
+TEST(ScenarioReportTest, RejectsTamperedSideLabelsInsteadOfFeedingMakeGrid) {
+  // Reports parse axis labels out of reloaded (possibly hand-edited or
+  // merged) documents. std::stoi let "-5" or "11x11" through, handing
+  // make_grid a negative or truncated side; the strict parser must throw
+  // an error naming the bad label instead.
+  ScenarioRegistry registry;
+  register_builtin_scenarios(registry);
+  const Scenario* scenario = registry.find("scal_grid");
+  ASSERT_NE(scenario, nullptr);
+
+  ScenarioOptions options;
+  options.smoke = true;
+  ScenarioExecution execution;
+  execution.deterministic_timing = true;
+  ThreadPool pool(2);
+  SweepJson document = run_scenario(*scenario, options, execution, pool);
+  ASSERT_FALSE(document.cells.empty());
+
+  for (const std::string bad : {"-5", "0", "11x11", " 7", ""}) {
+    SweepJson tampered = document;
+    for (SweepJsonCell& cell : tampered.cells) {
+      for (auto& [axis, value] : cell.coordinates) {
+        if (axis == "side") {
+          value = bad;
+        }
+      }
+    }
+    std::ostringstream report;
+    try {
+      (void)scenario->report(report, tampered, options);
+      FAIL() << "expected std::invalid_argument for side label '" << bad
+             << "'";
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("'" + bad + "'"),
+                std::string::npos)
+          << error.what();
+    }
+  }
+}
+
 TEST(ScenarioReportTest, RequireCellNamesTheMissingLabel) {
   SweepJson document;
   document.name = "fig5a";

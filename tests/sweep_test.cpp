@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -362,6 +363,58 @@ TEST(SweepJsonTest, RejectsMalformedAndUnknownSchema) {
         "\"wall_seconds\": 1-2, \"cells\": []}");
     EXPECT_THROW((void)read_sweep_json(stream), std::runtime_error);
   }
+}
+
+/// Minimal parseable v1 document with `name` spliced in verbatim, for
+/// exercising the string-escape grammar through the public reader.
+SweepJson parse_with_name(const std::string& name_json) {
+  std::stringstream stream(
+      "{\"schema\": \"slpdas.sweep.v1\", \"name\": " + name_json +
+      ", \"threads\": 1, \"wall_seconds\": 0, "
+      "\"distinct_worker_threads\": 1, \"cells\": []}");
+  return read_sweep_json(stream);
+}
+
+TEST(SweepJsonTest, UnicodeEscapesRequireExactlyFourHexDigits) {
+  EXPECT_EQ(parse_with_name("\"\\u0041\"").name, "A");
+  EXPECT_EQ(parse_with_name("\"\\u00e9\"").name, "\xc3\xa9");  // é, 2-byte
+  // std::stoi's forgiving grammar accepted all of these: fewer than four
+  // digits before the closing quote, embedded whitespace and signs.
+  EXPECT_THROW((void)parse_with_name("\"\\u12\""), std::runtime_error);
+  EXPECT_THROW((void)parse_with_name("\"\\u12g4\""), std::runtime_error);
+  EXPECT_THROW((void)parse_with_name("\"\\u 041\""), std::runtime_error);
+  EXPECT_THROW((void)parse_with_name("\"\\u+041\""), std::runtime_error);
+  EXPECT_THROW((void)parse_with_name("\"\\u\""), std::runtime_error);
+  // Lone surrogate halves are not scalar values; encoding them as 3-byte
+  // UTF-8 would emit CESU-8 garbage downstream consumers choke on.
+  EXPECT_THROW((void)parse_with_name("\"\\ud800\""), std::runtime_error);
+  EXPECT_THROW((void)parse_with_name("\"\\udfff\""), std::runtime_error);
+}
+
+TEST(SweepJsonTest, NumberParsingIgnoresTheProcessLocale) {
+  // Under a comma-decimal locale, std::stod reads "0.05" as 0 — silently
+  // zeroing every ratio in a reloaded document. from_chars never
+  // consults LC_NUMERIC, so parsing must be identical in any locale.
+  const char* applied = std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+  if (applied == nullptr) {
+    applied = std::setlocale(LC_NUMERIC, "de_DE");
+  }
+  if (applied == nullptr) {
+    GTEST_SKIP() << "no de_DE locale available on this system";
+  }
+  std::stringstream stream(
+      "{\"schema\": \"slpdas.sweep.v1\", \"name\": \"x\", \"threads\": 1, "
+      "\"wall_seconds\": 0.05, \"distinct_worker_threads\": 1, "
+      "\"cells\": []}");
+  SweepJson parsed;
+  try {
+    parsed = read_sweep_json(stream);
+  } catch (...) {
+    std::setlocale(LC_NUMERIC, "C");
+    throw;
+  }
+  std::setlocale(LC_NUMERIC, "C");
+  EXPECT_EQ(parsed.wall_seconds, 0.05);
 }
 
 // ---------------------------------------------------------------------------
