@@ -1,0 +1,80 @@
+// Batched vs unbatched cell execution: the same four seeds of a side-7
+// cell either share one RunBatch (topology-derived protocol state hoisted
+// once, seeds back-to-back) or go through run_single per seed, which
+// constructs a throwaway batch each time — exactly the sweep engine's
+// `unbatched` escape hatch. The events/s counter is the sweep's figure of
+// merit; the cell/* pair quantifies what batching alone buys.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "slpdas/core/experiment.hpp"
+#include "slpdas/core/run_batch.hpp"
+#include "slpdas/rng.hpp"
+#include "slpdas/wsn/topology_spec.hpp"
+
+namespace {
+
+using namespace slpdas;
+
+constexpr std::uint64_t kBaseSeed = 101;
+constexpr int kSeedsPerIteration = 4;
+
+core::ExperimentConfig make_config(core::ProtocolKind protocol) {
+  core::ExperimentConfig config;
+  config.topology = wsn::TopologySpec::grid(7);
+  config.protocol = protocol;
+  config.radio = core::RadioKind::kCasinoLab;
+  config.check_schedules = false;
+  return config;
+}
+
+void run_cell(benchmark::State& state, core::ProtocolKind protocol,
+              bool batched) {
+  const core::ExperimentConfig config = make_config(protocol);
+  const wsn::Topology topology = config.topology.build();
+  std::vector<core::RunResult> results(kSeedsPerIteration);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    if (batched) {
+      const core::RunBatch batch(config, topology);
+      batch.run_range(kBaseSeed, 0, kSeedsPerIteration, results.data());
+    } else {
+      for (int run = 0; run < kSeedsPerIteration; ++run) {
+        results[static_cast<std::size_t>(run)] = core::run_single(
+            config, topology, derive_seed(kBaseSeed, static_cast<std::uint64_t>(run)));
+      }
+    }
+    for (const core::RunResult& result : results) {
+      events += result.events_executed;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSeedsPerIteration);
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+
+void cell_batched_das(benchmark::State& state) {
+  run_cell(state, core::ProtocolKind::kProtectionlessDas, true);
+}
+
+void cell_unbatched_das(benchmark::State& state) {
+  run_cell(state, core::ProtocolKind::kProtectionlessDas, false);
+}
+
+void cell_batched_slp(benchmark::State& state) {
+  run_cell(state, core::ProtocolKind::kSlpDas, true);
+}
+
+void cell_unbatched_slp(benchmark::State& state) {
+  run_cell(state, core::ProtocolKind::kSlpDas, false);
+}
+
+BENCHMARK(cell_batched_das)->Unit(benchmark::kMillisecond);
+BENCHMARK(cell_unbatched_das)->Unit(benchmark::kMillisecond);
+BENCHMARK(cell_batched_slp)->Unit(benchmark::kMillisecond);
+BENCHMARK(cell_unbatched_slp)->Unit(benchmark::kMillisecond);
+
+}  // namespace

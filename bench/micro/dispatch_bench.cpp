@@ -1,0 +1,80 @@
+// Simulator dispatch micro-costs, isolated from protocol logic:
+//
+//   dispatch/timer      a 49-node grid where every node re-arms one timer
+//                       each millisecond — the pure pop -> generation
+//                       check -> on_timer -> re-push cycle.
+//   dispatch/broadcast  every node broadcasts a shared HELLO payload each
+//                       millisecond — adds message staging, per-neighbour
+//                       delivery fan-out and reference-counted release.
+//
+// Items processed = simulator events executed, so items/s here is the
+// substrate ceiling the full-protocol events/s numbers are measured
+// against.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "slpdas/das/messages.hpp"
+#include "slpdas/sim/radio.hpp"
+#include "slpdas/sim/simulator.hpp"
+#include "slpdas/wsn/topology_spec.hpp"
+
+namespace {
+
+using namespace slpdas;
+
+constexpr sim::SimTime kTick = 1'000;   // 1 ms
+constexpr sim::SimTime kSlice = 50'000; // simulated time per iteration
+
+class TimerPing final : public sim::Process {
+ public:
+  void on_start() override { set_timer(0, kTick); }
+  void on_message(wsn::NodeId, const sim::Message&) override {}
+  void on_timer(int) override { set_timer(0, kTick); }
+};
+
+class HelloBeacon final : public sim::Process {
+ public:
+  void on_start() override {
+    hello_ = std::make_shared<const das::HelloMessage>();
+    set_timer(0, kTick);
+  }
+  void on_message(wsn::NodeId, const sim::Message&) override {}
+  void on_timer(int) override {
+    broadcast(hello_);
+    set_timer(0, kTick);
+  }
+
+ private:
+  sim::MessagePtr hello_;
+};
+
+template <typename Proc>
+void run_dispatch(benchmark::State& state) {
+  const wsn::Topology topology = wsn::TopologySpec::grid(7).build();
+  sim::Simulator simulator(topology.graph, sim::make_ideal_radio(), 1);
+  for (wsn::NodeId node = 0; node < topology.graph.node_count(); ++node) {
+    simulator.add_process(node, std::make_unique<Proc>());
+  }
+  sim::SimTime horizon = 0;
+  for (auto _ : state) {
+    horizon += kSlice;
+    benchmark::DoNotOptimize(simulator.run_until(horizon));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(simulator.events_executed()));
+}
+
+void dispatch_timer(benchmark::State& state) {
+  run_dispatch<TimerPing>(state);
+}
+
+void dispatch_broadcast(benchmark::State& state) {
+  run_dispatch<HelloBeacon>(state);
+}
+
+BENCHMARK(dispatch_timer);
+BENCHMARK(dispatch_broadcast);
+
+}  // namespace

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -154,6 +155,12 @@ void apply_protocol_spec(std::string_view text, ExperimentConfig& config);
 /// Parses "ideal", "casino-lab", "lossy" or "lossy:p=0.08" and applies it
 /// to the config. Throws std::invalid_argument listing the valid names.
 void apply_radio_spec(std::string_view text, ExperimentConfig& config);
+
+/// Builds a fresh instance of the radio model `config` selects (radio
+/// models are stateful, so each run constructs its own). Throws
+/// std::invalid_argument on an unknown radio kind.
+[[nodiscard]] std::unique_ptr<sim::RadioModel> make_radio(
+    const ExperimentConfig& config);
 
 /// Executes one seeded run, materialising config.topology first.
 /// Deterministic in (config, seed).

@@ -1,0 +1,78 @@
+// Cell-granular batched run execution.
+//
+// A sweep cell executes the same configuration under N seeds. Before this
+// layer existed, every (cell, run) pair was an independent task that
+// re-derived everything the seed does NOT influence: the DAS/SLP/phantom
+// protocol configs, the safety-period BFS over the topology, and the
+// activation/upper-bound time arithmetic. RunBatch hoists all of that
+// out of the per-seed loop: it is computed once per (config, topology)
+// and shared read-only by every seed, so consecutive seeds of one cell
+// run back-to-back against warm, immutable state. Per-run outputs land
+// in caller-provided dense RunResult arrays (one contiguous slot per
+// seed — a structure of scalar arrays once aggregated), so a cell's
+// results stay cache-dense no matter how its seed range was sliced
+// across workers.
+//
+// Determinism contract: run_one(seed) is a pure function of
+// (config, topology, seed) and bit-identical to the unbatched
+// run_single(config, topology, seed) — everything hoisted here is itself
+// a pure function of (config, topology). The sweep engine's
+// batched-vs-unbatched fingerprint tests pin that equality for every
+// registered scenario.
+#pragma once
+
+#include <cstdint>
+
+#include "slpdas/core/experiment.hpp"
+#include "slpdas/das/protocol.hpp"
+#include "slpdas/phantom/phantom_routing.hpp"
+#include "slpdas/sim/time.hpp"
+#include "slpdas/slp/slp_das.hpp"
+#include "slpdas/verify/safety_period.hpp"
+
+namespace slpdas::core {
+
+class RunBatch {
+ public:
+  /// Hoists the run-invariant state of `config` against `topology`.
+  /// Both must outlive the batch and `topology` must be
+  /// config.topology.build()'s result — a mismatched graph silently
+  /// simulates a different experiment. Throws std::invalid_argument on
+  /// an invalid source/sink (the per-run validation, done once).
+  RunBatch(const ExperimentConfig& config, const wsn::Topology& topology);
+
+  [[nodiscard]] const ExperimentConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const wsn::Topology& topology() const noexcept {
+    return topology_;
+  }
+
+  /// Executes one seeded run against the hoisted state. Thread-safe: the
+  /// batch is immutable after construction, so any number of workers may
+  /// run disjoint seeds of the same batch concurrently.
+  [[nodiscard]] RunResult run_one(std::uint64_t seed) const;
+
+  /// Executes run indices [first, last) back-to-back, seeding run i with
+  /// derive_seed(base_seed, i) — exactly the per-run derivation the
+  /// unbatched engine uses — and writing run i's result to
+  /// out[i - first]. `out` must have room for last - first results.
+  void run_range(std::uint64_t base_seed, int first, int last,
+                 RunResult* out) const;
+
+ private:
+  const ExperimentConfig& config_;
+  const wsn::Topology& topology_;
+
+  // -- run-invariant hoisted state ------------------------------------------
+  das::DasConfig das_config_;
+  slp::SlpConfig slp_config_;
+  phantom::PhantomConfig phantom_config_;
+  verify::SafetyPeriod safety_;
+  bool is_phantom_ = false;
+  sim::SimTime activation_ = 0;  ///< data phase + attacker start
+  sim::SimTime safety_end_ = 0;  ///< activation + safety period
+  sim::SimTime run_end_ = 0;     ///< min(safety_end, upper time bound)
+};
+
+}  // namespace slpdas::core

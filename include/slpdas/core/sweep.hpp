@@ -147,6 +147,12 @@ struct SweepOptions {
   /// bit-identical to a cold run), a miss computes the cell and stores it
   /// on completion. Not owned; nullptr disables caching.
   CellCache* cache = nullptr;
+  /// Escape hatch for A/B verification and benchmarking: schedule one
+  /// task per (cell, run) through the unbatched run_single path instead
+  /// of cell-granular RunBatch slices. Results are bit-identical either
+  /// way (the batched-vs-unbatched fingerprint tests pin this); batched
+  /// is faster, so leave this false outside comparisons.
+  bool unbatched = false;
 };
 
 /// Parsed/serialisable view of a sweep JSON document. This is the value

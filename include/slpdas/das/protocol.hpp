@@ -21,13 +21,13 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
 #include <vector>
 
 #include "slpdas/das/messages.hpp"
 #include "slpdas/mac/frame.hpp"
 #include "slpdas/mac/schedule.hpp"
 #include "slpdas/sim/simulator.hpp"
+#include "slpdas/util/flat_set.hpp"
 
 namespace slpdas::das {
 
@@ -64,10 +64,10 @@ class ProtectionlessDas : public sim::Process {
   [[nodiscard]] mac::SlotId slot() const noexcept { return slot_; }
   [[nodiscard]] int hop() const noexcept { return hop_; }
   [[nodiscard]] wsn::NodeId parent() const noexcept { return parent_; }
-  [[nodiscard]] const std::set<wsn::NodeId>& potential_parents() const noexcept {
+  [[nodiscard]] const util::FlatSet<wsn::NodeId>& potential_parents() const noexcept {
     return potential_parents_;
   }
-  [[nodiscard]] const std::set<wsn::NodeId>& children() const noexcept {
+  [[nodiscard]] const util::FlatSet<wsn::NodeId>& children() const noexcept {
     return children_;
   }
   /// Neighbours in DISCOVERY order (the order their first HELLO/DISSEM
@@ -181,8 +181,8 @@ class ProtectionlessDas : public sim::Process {
 
   // Figure 2 variables.
   std::vector<wsn::NodeId> my_neighbors_;              // myN (discovery order)
-  std::set<wsn::NodeId> potential_parents_;            // Npar
-  std::set<wsn::NodeId> children_;                     // children
+  util::FlatSet<wsn::NodeId> potential_parents_;            // Npar
+  util::FlatSet<wsn::NodeId> children_;                     // children
   std::vector<std::vector<wsn::NodeId>> others_;  // Others[j], dense by node
   /// Ninfo[] as a dense per-node table (sized in on_start) — the merge in
   /// handle_dissem runs millions of times per experiment, and an indexed
@@ -194,6 +194,11 @@ class ProtectionlessDas : public sim::Process {
   /// node appears at most once; collision resolution scans this compact
   /// list instead of the whole table.
   std::vector<wsn::NodeId> known_assigned_;
+  /// Scratch for resolve_collisions' occupied-slot probe (reused so the
+  /// collision path does not allocate once warmed).
+  std::vector<mac::SlotId> taken_scratch_;
+  /// Scratch for handle_dissem's competitor listing, same rationale.
+  std::vector<wsn::NodeId> competitors_scratch_;
   /// HELLO beacons are immutable and payload-free: build one and
   /// re-broadcast it every discovery period (no per-send allocation).
   sim::MessagePtr hello_message_;

@@ -137,11 +137,12 @@ class Simulator {
 
   /// Traffic counters for node `node` (all message types combined).
   [[nodiscard]] const TrafficCounters& traffic(wsn::NodeId node) const;
-  /// Total messages sent, by message-type name.
+  /// Total messages sent, by message-type name. Materialised on demand
+  /// from the pointer-keyed hot-path counters (a handful of message
+  /// classes exist, so the per-broadcast count is a short scan over
+  /// stable name pointers instead of a string hash per send).
   [[nodiscard]] const std::unordered_map<std::string, std::uint64_t>&
-  sends_by_type() const noexcept {
-    return sends_by_type_;
-  }
+  sends_by_type() const;
   [[nodiscard]] std::uint64_t total_sent() const noexcept { return total_sent_; }
   /// Every popped event, including stale (re-armed or cancelled) timer
   /// expiries that were skipped at pop time.
@@ -155,6 +156,13 @@ class Simulator {
   /// Timer expiries whose generation was still current (on_timer calls).
   [[nodiscard]] std::uint64_t timers_fired() const noexcept {
     return timers_fired_;
+  }
+
+  /// The event queue's current ordering backend (observability: tests
+  /// assert realistic protocol workloads stay on the calendar and that
+  /// pathological ones degrade to the heap).
+  [[nodiscard]] EventQueue::Backend queue_backend() const noexcept {
+    return queue_.backend();
   }
 
   /// One-way propagation + processing latency applied to every delivery.
@@ -177,6 +185,12 @@ class Simulator {
   /// for a timer that was never armed (no generation entry is created).
   void disarm_timer(wsn::NodeId node, int timer_id) noexcept;
 
+  /// Bumps the per-type send counter for a message class. `name` must be
+  /// the class's stable name() pointer (one static string per class), so
+  /// identity compare suffices and the scan is over ≤ a handful of
+  /// entries.
+  void count_send(const char* name);
+
   const wsn::Graph& graph_;
   std::unique_ptr<RadioModel> radio_;
   Rng rng_;
@@ -198,7 +212,14 @@ class Simulator {
   /// indexed load on the hot path.
   std::vector<std::vector<std::uint64_t>> timer_generations_;
   std::vector<TransmissionObserver*> observers_;
-  std::unordered_map<std::string, std::uint64_t> sends_by_type_;
+  /// Hot-path send accounting: one entry per message class, keyed by the
+  /// class's static name() pointer. Folded into sends_by_type_ lazily.
+  struct SendCounter {
+    const char* name;
+    std::uint64_t count;
+  };
+  std::vector<SendCounter> send_counters_;
+  mutable std::unordered_map<std::string, std::uint64_t> sends_by_type_;
 };
 
 }  // namespace slpdas::sim

@@ -17,7 +17,6 @@
 #pragma once
 
 #include <optional>
-#include <set>
 
 #include "slpdas/das/protocol.hpp"
 
@@ -85,10 +84,10 @@ class SlpDas final : public das::ProtectionlessDas {
   /// Uniformly random element of `candidates` (the paper's choose());
   /// std::nullopt when empty.
   [[nodiscard]] std::optional<wsn::NodeId> choose(
-      const std::set<wsn::NodeId>& candidates);
+      const util::FlatSet<wsn::NodeId>& candidates);
 
   SlpConfig slp_;
-  std::set<wsn::NodeId> from_;  // Figure 3's `from` set
+  util::FlatSet<wsn::NodeId> from_;  // Figure 3's `from` set
   bool became_start_node_ = false;
   bool refinement_started_ = false;
   bool on_decoy_path_ = false;

@@ -1,0 +1,77 @@
+// A sorted-vector set for the protocols' small hot-path sets.
+//
+// The DAS state machines keep several per-node sets whose cardinality is
+// bounded by the (two-hop) neighbourhood — a handful of entries on every
+// topology the paper uses — but whose inserts run once per received
+// dissemination message, millions of times per sweep. A red-black tree
+// pays a pointer chase and a node allocation for what is, at this size,
+// one binary search and a memmove over a few machine words. FlatSet keeps
+// the elements in a sorted contiguous vector instead: iteration order is
+// ascending, exactly like std::set, so swapping one for the other cannot
+// change any rng().pick_index draw or tie-break — the determinism
+// contract is untouched.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace slpdas::util {
+
+template <typename T>
+class FlatSet {
+ public:
+  using const_iterator = typename std::vector<T>::const_iterator;
+
+  FlatSet() = default;
+
+  /// Inserts `value` if absent. Returns true when inserted.
+  bool insert(const T& value) {
+    const auto pos = std::lower_bound(items_.begin(), items_.end(), value);
+    if (pos != items_.end() && *pos == value) {
+      return false;
+    }
+    items_.insert(pos, value);
+    return true;
+  }
+
+  /// Inserts every element of [first, last); duplicates are skipped.
+  template <typename It>
+  void insert(It first, It last) {
+    for (; first != last; ++first) {
+      insert(*first);
+    }
+  }
+
+  /// Removes `value` if present. Returns the number of elements removed
+  /// (0 or 1), mirroring std::set::erase.
+  std::size_t erase(const T& value) {
+    const auto pos = std::lower_bound(items_.begin(), items_.end(), value);
+    if (pos == items_.end() || *pos != value) {
+      return 0;
+    }
+    items_.erase(pos);
+    return 1;
+  }
+
+  [[nodiscard]] bool contains(const T& value) const {
+    return std::binary_search(items_.begin(), items_.end(), value);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  void clear() noexcept { items_.clear(); }
+
+  /// Elements in ascending order (the std::set iteration order).
+  [[nodiscard]] const_iterator begin() const noexcept { return items_.begin(); }
+  [[nodiscard]] const_iterator end() const noexcept { return items_.end(); }
+
+  friend bool operator==(const FlatSet& a, const FlatSet& b) {
+    return a.items_ == b.items_;
+  }
+
+ private:
+  std::vector<T> items_;
+};
+
+}  // namespace slpdas::util

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "slpdas/attacker/runtime.hpp"
+#include "slpdas/core/run_batch.hpp"
 #include "slpdas/core/thread_pool.hpp"
 #include "slpdas/detail/spec_format.hpp"
 #include "slpdas/mac/schedule_io.hpp"
@@ -173,8 +174,6 @@ std::string AttackerSpec::label() const {
   return label;
 }
 
-namespace {
-
 std::unique_ptr<sim::RadioModel> make_radio(const ExperimentConfig& config) {
   switch (config.radio) {
     case RadioKind::kIdeal:
@@ -186,8 +185,6 @@ std::unique_ptr<sim::RadioModel> make_radio(const ExperimentConfig& config) {
   }
   throw std::invalid_argument("make_radio: unknown radio kind");
 }
-
-}  // namespace
 
 std::string format_protocol_spec(ProtocolKind kind, int phantom_walk_length) {
   std::string out = to_string(kind);
@@ -293,133 +290,10 @@ RunResult run_single(const ExperimentConfig& config, std::uint64_t seed) {
 
 RunResult run_single(const ExperimentConfig& config,
                      const wsn::Topology& topology, std::uint64_t seed) {
-  const wsn::Graph& graph = topology.graph;
-  if (!graph.contains(topology.source) || !graph.contains(topology.sink) ||
-      topology.source == topology.sink) {
-    throw std::invalid_argument("run_single: invalid source/sink");
-  }
-
-  sim::Simulator simulator(graph, make_radio(config), seed);
-
-  const das::DasConfig das_config = config.parameters.das_config();
-  const bool is_phantom = config.protocol == ProtocolKind::kPhantomRouting;
-  const slp::SlpConfig slp_config =
-      config.protocol == ProtocolKind::kSlpDas
-          ? config.parameters.slp_config(topology)
-          : slp::SlpConfig{};
-  phantom::PhantomConfig phantom_config;
-  phantom_config.period = das_config.period();
-  phantom_config.hello_periods = das_config.neighbor_discovery_periods;
-  phantom_config.setup_periods = das_config.minimum_setup_periods;
-  phantom_config.walk_length = config.phantom_walk_length;
-  for (wsn::NodeId node = 0; node < graph.node_count(); ++node) {
-    switch (config.protocol) {
-      case ProtocolKind::kSlpDas:
-        simulator.add_process(node, std::make_unique<slp::SlpDas>(
-                                        slp_config, topology.sink,
-                                        topology.source));
-        break;
-      case ProtocolKind::kPhantomRouting:
-        simulator.add_process(node, std::make_unique<phantom::PhantomRouting>(
-                                        phantom_config, topology.sink,
-                                        topology.source));
-        break;
-      case ProtocolKind::kProtectionlessDas:
-        simulator.add_process(node, std::make_unique<das::ProtectionlessDas>(
-                                        das_config, topology.sink,
-                                        topology.source));
-        break;
-    }
-  }
-
-  attacker::AttackerRuntime eavesdropper(
-      simulator, das_config.frame, config.attacker.build(topology.sink),
-      topology.source);
-
-  // ---- setup phase: periods [0, MSP) --------------------------------------
-  const sim::SimTime period = das_config.period();
-  const sim::SimTime activation =
-      static_cast<sim::SimTime>(das_config.minimum_setup_periods) * period;
-  simulator.run_until(activation);
-
-  RunResult result;
-  if (!is_phantom) {
-    const mac::Schedule schedule = das::extract_schedule(simulator);
-    result.schedule_complete = schedule.complete();
-    if (result.schedule_complete) {
-      const mac::ScheduleStats stats = mac::compute_stats(schedule);
-      result.schedule_slot_span = stats.span;
-      result.schedule_density = stats.density;
-    }
-    if (config.check_schedules) {
-      result.weak_das_ok =
-          verify::check_weak_das(graph, schedule, topology.sink).ok();
-      result.strong_das_ok =
-          verify::check_strong_das(graph, schedule, topology.sink).ok();
-    }
-  }
-  // ---- data phase + attacker ----------------------------------------------
-  const verify::SafetyPeriod safety = verify::compute_safety_period(
-      graph, topology.source, topology.sink, config.parameters.safety_factor);
-  result.safety_periods = safety.periods;
-  result.source_sink_distance = safety.source_sink_distance;
-
-  eavesdropper.activate(activation);
-  const sim::SimTime safety_end =
-      activation + safety.duration(das_config.frame);
-  const sim::SimTime upper_bound =
-      activation + config.parameters.upper_time_bound(graph.node_count());
-  simulator.run_until(std::min(safety_end, upper_bound));
-
-  if (eavesdropper.captured() && *eavesdropper.capture_time() <= safety_end) {
-    result.captured = true;
-    result.capture_time_s =
-        sim::to_seconds(*eavesdropper.capture_time() - activation);
-  }
-  result.attacker_moves = eavesdropper.moves_made();
-
-  // ---- metrics --------------------------------------------------------------
-  const auto& by_type = simulator.sends_by_type();
-  const auto lookup = [&by_type](const char* name) -> double {
-    const auto it = by_type.find(name);
-    return it == by_type.end() ? 0.0 : static_cast<double>(it->second);
-  };
-  const auto node_count = static_cast<double>(graph.node_count());
-  result.normal_messages_per_node = lookup("NORMAL") / node_count;
-  result.control_messages_per_node =
-      (lookup("HELLO") + lookup("DISSEM") + lookup("SEARCH") +
-       lookup("CHANGE") + lookup("BEACON")) /
-      node_count;
-
-  std::uint64_t generated = 0;
-  std::uint64_t delivered = 0;
-  double latency_s = 0.0;
-  if (is_phantom) {
-    const auto& source_process = dynamic_cast<const phantom::PhantomRouting&>(
-        simulator.process(topology.source));
-    const auto& sink_process = dynamic_cast<const phantom::PhantomRouting&>(
-        simulator.process(topology.sink));
-    generated = source_process.generated_count();
-    delivered = sink_process.delivered_count();
-    latency_s = sink_process.mean_delivery_latency_s();
-  } else {
-    const auto& source_process = dynamic_cast<const das::ProtectionlessDas&>(
-        simulator.process(topology.source));
-    const auto& sink_process = dynamic_cast<const das::ProtectionlessDas&>(
-        simulator.process(topology.sink));
-    generated = source_process.generated_count();
-    delivered = sink_process.delivered_count();
-    latency_s = sink_process.mean_delivery_latency_s();
-  }
-  if (generated > 0) {
-    result.delivery_ratio =
-        static_cast<double>(delivered) / static_cast<double>(generated);
-    result.delivery_latency_s = latency_s;
-  }
-  result.events_executed = simulator.events_executed();
-  result.deliveries = simulator.deliveries_executed();
-  result.timer_fires = simulator.timers_fired();
-  return result;
+  // The batch layer hoists everything the seed does not influence; a
+  // one-shot batch makes single runs bit-identical to batched ones by
+  // construction (they ARE batched, with N = 1).
+  return RunBatch(config, topology).run_one(seed);
 }
 
 ExperimentResult aggregate_runs(const std::vector<RunResult>& runs,
@@ -457,25 +331,32 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     throw std::invalid_argument("run_experiment: runs must be >= 1");
   }
   // Materialise the topology ONCE for all runs — the spec refactor's
-  // contract: configs carry specs, the harness builds per experiment.
+  // contract: configs carry specs, the harness builds per experiment —
+  // then hoist the run-invariant state once into a batch shared by all
+  // workers.
   const wsn::Topology topology = config.topology.build();
-  // Workers fill a per-run slot each; aggregation happens afterwards in
-  // run-index order so the result is bit-identical for any thread count.
+  const RunBatch batch(config, topology);
+  // Workers execute contiguous run slices (one per worker, so consecutive
+  // seeds run back-to-back against the warm batch); aggregation happens
+  // afterwards in run-index order so the result is bit-identical for any
+  // thread count.
   std::vector<RunResult> runs(static_cast<std::size_t>(config.runs));
-  ThreadPool pool(std::min(config.threads <= 0
-                               ? static_cast<int>(
-                                     std::thread::hardware_concurrency())
-                               : config.threads,
-                           config.runs));
+  const int workers = std::min(config.threads <= 0
+                                   ? static_cast<int>(
+                                         std::thread::hardware_concurrency())
+                                   : config.threads,
+                               config.runs);
+  ThreadPool pool(workers);
   std::mutex mutex;
   std::exception_ptr first_error;
-  for (int run_index = 0; run_index < config.runs; ++run_index) {
-    pool.submit([&, run_index] {
+  const int slices = std::max(workers, 1);
+  const int per_slice = (config.runs + slices - 1) / slices;
+  for (int first = 0; first < config.runs; first += per_slice) {
+    const int last = std::min(first + per_slice, config.runs);
+    pool.submit([&, first, last] {
       try {
-        const std::uint64_t seed = derive_seed(
-            config.base_seed, static_cast<std::uint64_t>(run_index));
-        runs[static_cast<std::size_t>(run_index)] =
-            run_single(config, topology, seed);
+        batch.run_range(config.base_seed, first, last,
+                        runs.data() + static_cast<std::size_t>(first));
       } catch (...) {
         const std::scoped_lock lock(mutex);
         if (!first_error) {

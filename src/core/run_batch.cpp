@@ -1,0 +1,161 @@
+#include "slpdas/core/run_batch.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "slpdas/attacker/runtime.hpp"
+#include "slpdas/mac/schedule_io.hpp"
+#include "slpdas/rng.hpp"
+#include "slpdas/verify/das_checker.hpp"
+
+namespace slpdas::core {
+
+RunBatch::RunBatch(const ExperimentConfig& config,
+                   const wsn::Topology& topology)
+    : config_(config), topology_(topology) {
+  const wsn::Graph& graph = topology.graph;
+  if (!graph.contains(topology.source) || !graph.contains(topology.sink) ||
+      topology.source == topology.sink) {
+    throw std::invalid_argument("run_single: invalid source/sink");
+  }
+
+  das_config_ = config.parameters.das_config();
+  is_phantom_ = config.protocol == ProtocolKind::kPhantomRouting;
+  if (config.protocol == ProtocolKind::kSlpDas) {
+    slp_config_ = config.parameters.slp_config(topology);
+  }
+  phantom_config_.period = das_config_.period();
+  phantom_config_.hello_periods = das_config_.neighbor_discovery_periods;
+  phantom_config_.setup_periods = das_config_.minimum_setup_periods;
+  phantom_config_.walk_length = config.phantom_walk_length;
+
+  // The safety-period BFS depends only on the graph and the parameters —
+  // hoisted here, it runs once per cell instead of once per seed.
+  safety_ = verify::compute_safety_period(graph, topology.source,
+                                          topology.sink,
+                                          config.parameters.safety_factor);
+
+  const sim::SimTime period = das_config_.period();
+  activation_ =
+      static_cast<sim::SimTime>(das_config_.minimum_setup_periods) * period;
+  safety_end_ = activation_ + safety_.duration(das_config_.frame);
+  const sim::SimTime upper_bound =
+      activation_ + config.parameters.upper_time_bound(graph.node_count());
+  run_end_ = std::min(safety_end_, upper_bound);
+}
+
+RunResult RunBatch::run_one(std::uint64_t seed) const {
+  const wsn::Graph& graph = topology_.graph;
+  sim::Simulator simulator(graph, make_radio(config_), seed);
+
+  for (wsn::NodeId node = 0; node < graph.node_count(); ++node) {
+    switch (config_.protocol) {
+      case ProtocolKind::kSlpDas:
+        simulator.add_process(node, std::make_unique<slp::SlpDas>(
+                                        slp_config_, topology_.sink,
+                                        topology_.source));
+        break;
+      case ProtocolKind::kPhantomRouting:
+        simulator.add_process(node, std::make_unique<phantom::PhantomRouting>(
+                                        phantom_config_, topology_.sink,
+                                        topology_.source));
+        break;
+      case ProtocolKind::kProtectionlessDas:
+        simulator.add_process(node, std::make_unique<das::ProtectionlessDas>(
+                                        das_config_, topology_.sink,
+                                        topology_.source));
+        break;
+    }
+  }
+
+  attacker::AttackerRuntime eavesdropper(
+      simulator, das_config_.frame, config_.attacker.build(topology_.sink),
+      topology_.source);
+
+  // ---- setup phase: periods [0, MSP) --------------------------------------
+  simulator.run_until(activation_);
+
+  RunResult result;
+  if (!is_phantom_) {
+    const mac::Schedule schedule = das::extract_schedule(simulator);
+    result.schedule_complete = schedule.complete();
+    if (result.schedule_complete) {
+      const mac::ScheduleStats stats = mac::compute_stats(schedule);
+      result.schedule_slot_span = stats.span;
+      result.schedule_density = stats.density;
+    }
+    if (config_.check_schedules) {
+      result.weak_das_ok =
+          verify::check_weak_das(graph, schedule, topology_.sink).ok();
+      result.strong_das_ok =
+          verify::check_strong_das(graph, schedule, topology_.sink).ok();
+    }
+  }
+  // ---- data phase + attacker ----------------------------------------------
+  result.safety_periods = safety_.periods;
+  result.source_sink_distance = safety_.source_sink_distance;
+
+  eavesdropper.activate(activation_);
+  simulator.run_until(run_end_);
+
+  if (eavesdropper.captured() && *eavesdropper.capture_time() <= safety_end_) {
+    result.captured = true;
+    result.capture_time_s =
+        sim::to_seconds(*eavesdropper.capture_time() - activation_);
+  }
+  result.attacker_moves = eavesdropper.moves_made();
+
+  // ---- metrics ------------------------------------------------------------
+  const auto& by_type = simulator.sends_by_type();
+  const auto lookup = [&by_type](const char* name) -> double {
+    const auto it = by_type.find(name);
+    return it == by_type.end() ? 0.0 : static_cast<double>(it->second);
+  };
+  const auto node_count = static_cast<double>(graph.node_count());
+  result.normal_messages_per_node = lookup("NORMAL") / node_count;
+  result.control_messages_per_node =
+      (lookup("HELLO") + lookup("DISSEM") + lookup("SEARCH") +
+       lookup("CHANGE") + lookup("BEACON")) /
+      node_count;
+
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  double latency_s = 0.0;
+  if (is_phantom_) {
+    const auto& source_process = dynamic_cast<const phantom::PhantomRouting&>(
+        simulator.process(topology_.source));
+    const auto& sink_process = dynamic_cast<const phantom::PhantomRouting&>(
+        simulator.process(topology_.sink));
+    generated = source_process.generated_count();
+    delivered = sink_process.delivered_count();
+    latency_s = sink_process.mean_delivery_latency_s();
+  } else {
+    const auto& source_process = dynamic_cast<const das::ProtectionlessDas&>(
+        simulator.process(topology_.source));
+    const auto& sink_process = dynamic_cast<const das::ProtectionlessDas&>(
+        simulator.process(topology_.sink));
+    generated = source_process.generated_count();
+    delivered = sink_process.delivered_count();
+    latency_s = sink_process.mean_delivery_latency_s();
+  }
+  if (generated > 0) {
+    result.delivery_ratio =
+        static_cast<double>(delivered) / static_cast<double>(generated);
+    result.delivery_latency_s = latency_s;
+  }
+  result.events_executed = simulator.events_executed();
+  result.deliveries = simulator.deliveries_executed();
+  result.timer_fires = simulator.timers_fired();
+  return result;
+}
+
+void RunBatch::run_range(std::uint64_t base_seed, int first, int last,
+                         RunResult* out) const {
+  for (int run = first; run < last; ++run) {
+    out[run - first] =
+        run_one(derive_seed(base_seed, static_cast<std::uint64_t>(run)));
+  }
+}
+
+}  // namespace slpdas::core

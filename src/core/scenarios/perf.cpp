@@ -58,14 +58,14 @@ int report_perf_sim(std::ostream& out, const SweepJson& document,
     table.add_row(
         {cell.label, std::to_string(cell.runs),
          cell.wall_seconds > 0.0 ? Table::cell(cell.wall_seconds, 2) + "s"
-                                 : "n/a",
+                                 : "-",
          cell.wall_seconds > 0.0
              ? Table::cell(cell.runs / cell.wall_seconds, 2)
-             : "n/a",
-         cell.has_perf ? std::to_string(cell.perf_events) : "n/a",
+             : "-",
+         cell.has_perf ? std::to_string(cell.perf_events) : "-",
          cell.has_perf && cell.perf_events_per_sec > 0.0
              ? Table::cell(cell.perf_events_per_sec / 1e6, 2)
-             : "n/a"});
+             : "-"});
   }
   table.print(out);
   if (document.wall_seconds > 0.0) {

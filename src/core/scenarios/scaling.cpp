@@ -68,10 +68,10 @@ int report_scal_grid(std::ostream& out, const SweepJson& document,
          "[" + Table::cell(cell.capture_wilson95_low, 3) + ", " +
              Table::cell(cell.capture_wilson95_high, 3) + "]",
          cell.wall_seconds > 0.0 ? Table::cell(cell.wall_seconds, 2) + "s"
-                                 : "n/a",
+                                 : "-",
          cell.has_perf && cell.perf_events_per_sec > 0.0
              ? Table::cell(cell.perf_events_per_sec / 1e6, 2)
-             : "n/a"});
+             : "-"});
   }
   table.print(out);
   out << "\nCapture ratio falls with size (the attacker has further to "

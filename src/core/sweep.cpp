@@ -12,6 +12,7 @@
 #include <limits>
 #include <mutex>
 #include <ostream>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -22,6 +23,7 @@
 #include "fnv.hpp"
 #include "json.hpp"
 #include "slpdas/core/cell_cache.hpp"
+#include "slpdas/core/run_batch.hpp"
 
 namespace slpdas::core {
 
@@ -127,6 +129,10 @@ struct CellProgress {
   /// peak memory scales with the cells in flight, not the grid.
   std::once_flag build_topology;
   wsn::Topology topology;
+  /// The cell's shared run-invariant state, built right after the
+  /// topology (which it references — reset FIRST on release). Absent in
+  /// unbatched mode.
+  std::optional<RunBatch> batch;
 };
 
 /// Defined in the JSON section below; run_sweep streams through it.
@@ -296,18 +302,45 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
     }
   }
 
+  // Work is scheduled in CELL-granular slices, not one task per run: a
+  // cell's slice executes consecutive seeds back-to-back against the
+  // cell's shared RunBatch (warm topology + hoisted per-run state). When
+  // live cells outnumber workers, one slice per cell maximises batch
+  // locality; when workers outnumber cells (a short grid on a wide
+  // machine), each cell's seed range splits across enough slices to keep
+  // every worker busy. Either way seeds, results and documents are
+  // bit-identical — only the grouping changes.
+  std::size_t live_cells = 0;
+  for (std::size_t m = 0; m < mine.size(); ++m) {
+    live_cells += cached[m] == 0 ? 1 : 0;
+  }
+  const int threads = pool.thread_count();
+
   for (std::size_t m = 0; m < mine.size(); ++m) {
     if (cached[m] != 0) {
       continue;
     }
     const SweepCell& cell = cells[mine[m]];
     const std::uint64_t cell_seed = cell_seeds[m];
+    const int runs = cell.config.runs;
 
-    progress[m].runs.resize(static_cast<std::size_t>(cell.config.runs));
-    progress[m].remaining.store(cell.config.runs);
+    int slices = 1;
+    if (options.unbatched) {
+      slices = runs;
+    } else if (live_cells < static_cast<std::size_t>(threads)) {
+      const auto live = static_cast<int>(live_cells);
+      slices = std::min(runs, (threads + live - 1) / live);
+    }
+    const int per_slice = (runs + slices - 1) / slices;
+    // ceil(runs / per_slice) actual slices (can be fewer than `slices`).
+    const int slice_count = (runs + per_slice - 1) / per_slice;
 
-    for (int run = 0; run < cell.config.runs; ++run) {
-      pool.submit([&, m, run, cell_seed, &cell = cells[mine[m]]] {
+    progress[m].runs.resize(static_cast<std::size_t>(runs));
+    progress[m].remaining.store(slice_count);
+
+    for (int first = 0; first < runs; first += per_slice) {
+      const int last = std::min(first + per_slice, runs);
+      pool.submit([&, m, first, last, cell_seed, &cell = cells[mine[m]]] {
         CellProgress& state = progress[m];
         if (!state.started_set.exchange(true)) {
           state.started = Clock::now();
@@ -317,16 +350,29 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
               stream_failed.load(std::memory_order_relaxed)) {
             state.failed.store(true);
           } else {
-            // First worker on the cell materialises its topology; a build
-            // failure leaves the flag unset, so every run retries, throws
-            // the same error, and the sweep reports it once below.
-            std::call_once(state.build_topology, [&state, &cell] {
+            // First worker on the cell materialises its topology and
+            // hoists the batch state; a build failure leaves the flag
+            // unset, so every slice retries, throws the same error, and
+            // the sweep reports it once below.
+            const bool unbatched = options.unbatched;
+            std::call_once(state.build_topology, [&state, &cell, unbatched] {
               state.topology = cell.config.topology.build();
+              if (!unbatched) {
+                state.batch.emplace(cell.config, state.topology);
+              }
             });
-            const std::uint64_t seed =
-                derive_seed(cell_seed, static_cast<std::uint64_t>(run));
-            state.runs[static_cast<std::size_t>(run)] =
-                run_single(cell.config, state.topology, seed);
+            if (options.unbatched) {
+              for (int run = first; run < last; ++run) {
+                const std::uint64_t seed =
+                    derive_seed(cell_seed, static_cast<std::uint64_t>(run));
+                state.runs[static_cast<std::size_t>(run)] =
+                    run_single(cell.config, state.topology, seed);
+              }
+            } else {
+              state.batch->run_range(
+                  cell_seed, first, last,
+                  state.runs.data() + static_cast<std::size_t>(first));
+            }
           }
         } catch (const std::exception& error) {
           // Name the failing cell: a sweep can run thousands of them, and
@@ -352,10 +398,12 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
           worker_ids.insert(std::this_thread::get_id());
         }
         if (state.remaining.fetch_sub(1) == 1) {
-          // Last run of this cell: aggregate in run-index order so the
+          // Last slice of this cell: aggregate in run-index order so the
           // result is independent of scheduling, then report. The cell's
-          // topology is done with — release it so sweep memory tracks the
-          // cells in flight, not every cell ever finished.
+          // batch and topology are done with — release them (batch first:
+          // it references the topology) so sweep memory tracks the cells
+          // in flight, not every cell ever finished.
+          state.batch.reset();
           state.topology = wsn::Topology{};
           state.wall_seconds = seconds_between(state.started, Clock::now());
           SweepCellResult& out = sweep.cells[m];

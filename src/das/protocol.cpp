@@ -192,13 +192,16 @@ void ProtectionlessDas::handle_dissem(wsn::NodeId from,
   // parents, and their unassigned neighbours as slot competitors.
   if (message.normal && !slot_assigned() && sender_assigned) {
     potential_parents_.insert(from);
-    std::vector<wsn::NodeId> competitors;  // in the sender's listing order
+    competitors_scratch_.clear();  // in the sender's listing order
     for (const auto& [node, info] : message.ninfo) {
       if (!info.assigned()) {
-        competitors.push_back(node);
+        competitors_scratch_.push_back(node);
       }
     }
-    others_[from] = std::move(competitors);
+    // assign() keeps the entry's existing capacity, so re-learning a
+    // sender's competitor list during setup does not allocate.
+    others_[from].assign(competitors_scratch_.begin(),
+                         competitors_scratch_.end());
   }
 
   // Children discovery: a sender that names us as parent is our child.
@@ -307,12 +310,17 @@ void ProtectionlessDas::resolve_collisions() {
   if (!we_lose) {
     return;
   }
-  std::set<mac::SlotId> taken;
+  // Occupied slots of the known neighbourhood, sorted for the binary
+  // search below. A reused scratch vector: this path runs per collision
+  // per dissemination round, and a tree set would allocate per entry.
+  taken_scratch_.clear();
   for (const wsn::NodeId node : known_assigned_) {
-    taken.insert(ninfo_[node].slot);
+    taken_scratch_.push_back(ninfo_[node].slot);
   }
+  std::sort(taken_scratch_.begin(), taken_scratch_.end());
   mac::SlotId candidate = slot_ - 1;
-  while (taken.contains(candidate)) {
+  while (std::binary_search(taken_scratch_.begin(), taken_scratch_.end(),
+                            candidate)) {
     --candidate;
   }
   // Children sitting at or below the new slot must re-order under us.

@@ -48,9 +48,18 @@ Simulator::Simulator(const wsn::Graph& graph, std::unique_ptr<RadioModel> radio,
   if (!radio_) {
     throw std::invalid_argument("Simulator: null radio model");
   }
-  processes_.resize(static_cast<std::size_t>(graph.node_count()));
-  traffic_.resize(static_cast<std::size_t>(graph.node_count()));
-  timer_generations_.resize(static_cast<std::size_t>(graph.node_count()));
+  const auto nodes = static_cast<std::size_t>(graph.node_count());
+  processes_.resize(nodes);
+  traffic_.resize(nodes);
+  // Dense generation tables sized for every timer id the shipped
+  // protocols use, so arming a timer mid-run never grows a vector.
+  timer_generations_.assign(nodes, std::vector<std::uint64_t>(8, 0));
+  // Pre-size the event queue for this topology's steady state: pending
+  // events scale with in-flight broadcasts (≈ degree per sender, the
+  // whole network in one dissemination slot) plus one armed timer set
+  // per node; staged payloads with concurrent senders.
+  queue_.reserve(64 + 8 * nodes, 16 + nodes);
+  send_counters_.reserve(8);
 }
 
 void Simulator::add_process(wsn::NodeId node, std::unique_ptr<Process> process) {
@@ -146,12 +155,34 @@ const TrafficCounters& Simulator::traffic(wsn::NodeId node) const {
   return traffic_[static_cast<std::size_t>(node)];
 }
 
+void Simulator::count_send(const char* name) {
+  for (SendCounter& entry : send_counters_) {
+    if (entry.name == name) {
+      ++entry.count;
+      return;
+    }
+  }
+  send_counters_.push_back(SendCounter{name, 1});
+}
+
+const std::unordered_map<std::string, std::uint64_t>&
+Simulator::sends_by_type() const {
+  sends_by_type_.clear();
+  for (const SendCounter& entry : send_counters_) {
+    // += rather than =: two message classes are allowed to share a name
+    // string with distinct pointers (e.g. the same kName text defined in
+    // two translation units).
+    sends_by_type_[entry.name] += entry.count;
+  }
+  return sends_by_type_;
+}
+
 void Simulator::do_broadcast(wsn::NodeId from, MessagePtr message) {
   auto& counters = traffic_[static_cast<std::size_t>(from)];
   ++counters.sent;
   counters.bytes_sent += message->wire_size();
   ++total_sent_;
-  ++sends_by_type_[message->name()];
+  count_send(message->name());
 
   for (TransmissionObserver* observer : observers_) {
     observer->on_transmission(from, *message, now_);

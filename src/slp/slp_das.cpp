@@ -76,7 +76,7 @@ std::optional<wsn::NodeId> SlpDas::min_slot_child() const {
 }
 
 std::optional<wsn::NodeId> SlpDas::choose(
-    const std::set<wsn::NodeId>& candidates) {
+    const util::FlatSet<wsn::NodeId>& candidates) {
   if (candidates.empty()) {
     return std::nullopt;
   }
@@ -114,7 +114,7 @@ void SlpDas::handle_search(wsn::NodeId from, const SearchMessage& message) {
     return;
   }
 
-  std::set<wsn::NodeId> spare_parents = potential_parents();
+  util::FlatSet<wsn::NodeId> spare_parents = potential_parents();
   spare_parents.erase(parent());
   spare_parents.erase(from);
 
@@ -129,7 +129,7 @@ void SlpDas::handle_search(wsn::NodeId from, const SearchMessage& message) {
     }
     // No spare potential parent here: keep searching at distance 0 through
     // a child, or failing that any neighbour except our parent (Figure 3).
-    std::set<wsn::NodeId> fallback = children();
+    util::FlatSet<wsn::NodeId> fallback = children();
     if (fallback.empty()) {
       fallback.insert(known_neighbors().begin(), known_neighbors().end());
       fallback.erase(parent());
@@ -152,8 +152,8 @@ void SlpDas::handle_search(wsn::NodeId from, const SearchMessage& message) {
   auto next = min_slot_child();
   if (!next) {
     // Leaf reached early: degrade to the distance-0 sideways search.
-    std::set<wsn::NodeId> fallback(known_neighbors().begin(),
-                                   known_neighbors().end());
+    util::FlatSet<wsn::NodeId> fallback;
+    fallback.insert(known_neighbors().begin(), known_neighbors().end());
     fallback.erase(parent());
     fallback.erase(from);
     next = choose(fallback);
@@ -175,7 +175,7 @@ void SlpDas::start_refinement() {
   if (refinement_started_ || !slot_assigned()) {
     return;
   }
-  std::set<wsn::NodeId> candidates = potential_parents();
+  util::FlatSet<wsn::NodeId> candidates = potential_parents();
   candidates.erase(parent());
   for (wsn::NodeId f : from_) {
     candidates.erase(f);
@@ -202,8 +202,8 @@ void SlpDas::handle_change(wsn::NodeId from, const ChangeMessage& message) {
   }
   on_decoy_path_ = true;
 
-  std::set<wsn::NodeId> candidates(known_neighbors().begin(),
-                                   known_neighbors().end());
+  util::FlatSet<wsn::NodeId> candidates;
+  candidates.insert(known_neighbors().begin(), known_neighbors().end());
   candidates.erase(parent());
   candidates.erase(from);
   for (wsn::NodeId f : from_) {

@@ -1,0 +1,181 @@
+// Pins the batched execution contract (run_batch.hpp): hoisting the
+// run-invariant state of a cell out of the per-seed loop must not change
+// a single output bit.
+//
+//   * For every registered scenario, the batched sweep document and the
+//     SweepOptions::unbatched one serialise to identical bytes (same FNV
+//     fingerprint the golden tests pin).
+//   * RunBatch::run_one(seed) equals run_single(config, topology, seed)
+//     for every seed, in any execution order — each run owns its seed's
+//     whole RNG stream, so batch-mates cannot bleed randomness into each
+//     other.
+//   * run_range slices compose: any partition of [0, runs) into ranges
+//     yields the same dense results as one range or as seed-by-seed
+//     run_one calls.
+#include "slpdas/core/run_batch.hpp"
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "slpdas/core/scenario.hpp"
+#include "slpdas/rng.hpp"
+#include "test_util.hpp"
+
+namespace slpdas::core {
+namespace {
+
+std::uint64_t fnv1a_bytes(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Field-by-field equality over the whole RunResult, exact on doubles.
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.captured, b.captured);
+  EXPECT_EQ(a.capture_time_s.has_value(), b.capture_time_s.has_value());
+  if (a.capture_time_s && b.capture_time_s) {
+    EXPECT_EQ(*a.capture_time_s, *b.capture_time_s);
+  }
+  EXPECT_EQ(a.safety_periods, b.safety_periods);
+  EXPECT_EQ(a.source_sink_distance, b.source_sink_distance);
+  EXPECT_EQ(a.schedule_complete, b.schedule_complete);
+  EXPECT_EQ(a.weak_das_ok, b.weak_das_ok);
+  EXPECT_EQ(a.strong_das_ok, b.strong_das_ok);
+  EXPECT_EQ(a.delivery_ratio, b.delivery_ratio);
+  EXPECT_EQ(a.delivery_latency_s, b.delivery_latency_s);
+  EXPECT_EQ(a.control_messages_per_node, b.control_messages_per_node);
+  EXPECT_EQ(a.normal_messages_per_node, b.normal_messages_per_node);
+  EXPECT_EQ(a.attacker_moves, b.attacker_moves);
+}
+
+ExperimentConfig small_config(ProtocolKind protocol) {
+  ExperimentConfig config;
+  config.topology = wsn::TopologySpec::grid(5);
+  config.protocol = protocol;
+  config.parameters = test::fast_parameters(24);
+  config.radio = RadioKind::kCasinoLab;
+  config.runs = 6;
+  config.base_seed = 2017;
+  return config;
+}
+
+TEST(RunBatchTest, BatchedSweepMatchesUnbatchedForEveryScenario) {
+  // The whole registry, smoke-sized but multi-run, through both
+  // scheduling paths of run_sweep. Byte equality of the serialised
+  // documents is the same bar the golden fingerprint tests set, so any
+  // divergence hoisting introduced — a stale config field, an RNG draw
+  // moved across runs — fails here naming the scenario.
+  ScenarioRegistry registry;
+  register_builtin_scenarios(registry);
+
+  ScenarioOptions scenario_options;
+  scenario_options.smoke = true;
+  scenario_options.runs = 3;  // exercise real per-cell seed ranges
+  ThreadPool pool(3);
+
+  for (const Scenario& scenario : registry.scenarios()) {
+    SCOPED_TRACE(scenario.name);
+    const std::vector<SweepCell> cells =
+        scenario.make_cells(scenario_options);
+    ASSERT_FALSE(cells.empty());
+
+    SweepOptions options;
+    options.threads = 3;
+    options.base_seed = scenario.resolved_seed(scenario_options);
+    options.deterministic_timing = true;
+
+    std::ostringstream batched;
+    write_sweep_json(batched, run_sweep(cells, options, pool),
+                     scenario.name);
+    options.unbatched = true;
+    std::ostringstream unbatched;
+    write_sweep_json(unbatched, run_sweep(cells, options, pool),
+                     scenario.name);
+
+    EXPECT_EQ(batched.str(), unbatched.str());
+    EXPECT_EQ(fnv1a_bytes(batched.str()), fnv1a_bytes(unbatched.str()));
+  }
+}
+
+TEST(RunBatchTest, RunOneMatchesRunSingleInAnyOrder) {
+  // Seed isolation: a batch executes seeds against shared hoisted state,
+  // so each run's randomness must come only from its own seed — never
+  // from batch construction or from whichever seeds ran before it.
+  // run_one must therefore reproduce run_single exactly even when the
+  // seeds execute in a different order than the unbatched engine used.
+  for (const ProtocolKind protocol :
+       {ProtocolKind::kProtectionlessDas, ProtocolKind::kSlpDas,
+        ProtocolKind::kPhantomRouting}) {
+    SCOPED_TRACE(static_cast<int>(protocol));
+    const ExperimentConfig config = small_config(protocol);
+    const wsn::Topology topology = config.topology.build();
+
+    std::vector<std::uint64_t> seeds;
+    for (int run = 0; run < config.runs; ++run) {
+      seeds.push_back(derive_seed(config.base_seed, run));
+    }
+    std::vector<RunResult> expected;
+    for (const std::uint64_t seed : seeds) {
+      expected.push_back(run_single(config, topology, seed));
+    }
+
+    const RunBatch batch(config, topology);
+    // Reversed, then interleaved odd/even — both must be order-blind.
+    for (int run = config.runs - 1; run >= 0; --run) {
+      expect_identical(batch.run_one(seeds[run]), expected[run]);
+    }
+    for (int parity : {1, 0}) {
+      for (int run = parity; run < config.runs; run += 2) {
+        expect_identical(batch.run_one(seeds[run]), expected[run]);
+      }
+    }
+  }
+}
+
+TEST(RunBatchTest, RunRangeSlicesComposeExactly) {
+  // The sweep engine splits a cell's [0, runs) across workers only when
+  // cells are scarce, so the same cell may execute as one slice or many
+  // depending on thread count. Every partition must write the same dense
+  // results.
+  const ExperimentConfig config = small_config(ProtocolKind::kSlpDas);
+  const wsn::Topology topology = config.topology.build();
+  const RunBatch batch(config, topology);
+
+  std::vector<RunResult> whole(config.runs);
+  batch.run_range(config.base_seed, 0, config.runs, whole.data());
+
+  for (const RunResult& result : whole) {
+    EXPECT_GT(result.safety_periods, 0.0);
+  }
+
+  std::vector<RunResult> seedwise;
+  for (int run = 0; run < config.runs; ++run) {
+    seedwise.push_back(
+        batch.run_one(derive_seed(config.base_seed, run)));
+  }
+
+  const int boundaries[][2] = {{0, 2}, {2, 3}, {3, 6}};
+  std::vector<RunResult> sliced(config.runs);
+  for (const auto& range : boundaries) {
+    batch.run_range(config.base_seed, range[0], range[1],
+                    sliced.data() + range[0]);
+  }
+
+  for (int run = 0; run < config.runs; ++run) {
+    SCOPED_TRACE(run);
+    expect_identical(whole[run], seedwise[run]);
+    expect_identical(whole[run], sliced[run]);
+  }
+}
+
+}  // namespace
+}  // namespace slpdas::core

@@ -109,21 +109,15 @@ class PingProcess final : public Process {
   std::uint64_t received_ = 0;
 };
 
-TEST(EventAllocTest, SteadyStateDeliveryAndTimerPathAllocatesNothing) {
-  const wsn::Topology line = wsn::make_line(3);
-  Simulator simulator(line.graph, make_ideal_radio(), 1);
-  for (wsn::NodeId n = 0; n < 3; ++n) {
-    simulator.add_process(n, std::make_unique<PingProcess>());
-  }
-
-  // Warm-up: heap vector, slot tables, traffic counters and the per-type
-  // send map all reach their steady sizes.
-  simulator.run_until(100 * kMillisecond);
+/// Runs a warmed-up ping-pong simulation for ten more simulated seconds
+/// and asserts the window allocated nothing.
+void run_measured_window(Simulator& simulator) {
   const std::uint64_t events_before = simulator.events_executed();
   const std::uint64_t allocations_before =
       g_allocations.load(std::memory_order_relaxed);
 
-  simulator.run_until(10 * kSecond);
+  const SimTime start = simulator.now();
+  simulator.run_until(start + 10 * kSecond);
 
   const std::uint64_t events_executed =
       simulator.events_executed() - events_before;
@@ -136,6 +130,66 @@ TEST(EventAllocTest, SteadyStateDeliveryAndTimerPathAllocatesNothing) {
   EXPECT_EQ(allocations, 0u)
       << "the delivery/timer hot path allocated " << allocations
       << " times across " << events_executed << " events";
+}
+
+TEST(EventAllocTest, SteadyStateDeliveryAndTimerPathAllocatesNothing) {
+  const wsn::Topology line = wsn::make_line(3);
+  Simulator simulator(line.graph, make_ideal_radio(), 1);
+  for (wsn::NodeId n = 0; n < 3; ++n) {
+    simulator.add_process(n, std::make_unique<PingProcess>());
+  }
+
+  // Warm-up: heap vector, slot tables, traffic counters and the per-type
+  // send map all reach their steady sizes.
+  simulator.run_until(100 * kMillisecond);
+  run_measured_window(simulator);
+}
+
+TEST(EventAllocTest, QueuePreSizingMakesWarmupNearlyImmediate) {
+  // The Simulator pre-sizes its event queue (and every dense per-node
+  // table) from the topology at construction, so "steady state" starts
+  // almost immediately: two timer ticks — enough for processes to build
+  // their cached payloads and for the first bucket transition — and the
+  // remaining ten simulated seconds must not allocate once.
+  const wsn::Topology line = wsn::make_line(3);
+  Simulator simulator(line.graph, make_ideal_radio(), 1);
+  for (wsn::NodeId n = 0; n < 3; ++n) {
+    simulator.add_process(n, std::make_unique<PingProcess>());
+  }
+  simulator.run_until(2 * kMillisecond);
+  run_measured_window(simulator);
+}
+
+TEST(EventAllocTest, ReservedQueueAbsorbsItsPendingBudgetWithoutAllocating) {
+  // EventQueue::reserve(pending, staged) must cover repeated fill/drain
+  // cycles of up to `pending` timer events across the whole calendar —
+  // active-window inserts, bucket bins, far overflow and the refill
+  // shuffles between them — without a single further allocation. Also
+  // exercised on the forced heap backend.
+  for (const auto backend :
+       {EventQueue::Backend::kCalendar, EventQueue::Backend::kHeap}) {
+    EventQueue queue(backend);
+    constexpr std::size_t kPending = 1000;
+    queue.reserve(kPending, 8);
+    const std::uint64_t allocations_before =
+        g_allocations.load(std::memory_order_relaxed);
+    SimTime now = 0;
+    for (int cycle = 0; cycle < 3; ++cycle) {
+      for (std::size_t i = 0; i < kPending; ++i) {
+        // Spread across bins, the active window and the far overflow.
+        queue.push_timer(now + static_cast<SimTime>(i) * 4096, 0, 1, i);
+      }
+      while (!queue.empty()) {
+        (void)queue.pop(now);
+      }
+    }
+    const std::uint64_t allocations =
+        g_allocations.load(std::memory_order_relaxed) - allocations_before;
+    EXPECT_EQ(allocations, 0u)
+        << "reserved queue allocated " << allocations << " times (backend "
+        << (backend == EventQueue::Backend::kCalendar ? "calendar" : "heap")
+        << ")";
+  }
 }
 
 }  // namespace

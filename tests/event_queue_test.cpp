@@ -1,14 +1,19 @@
 // Tests for the deterministic typed event queue: time ordering plus FIFO
 // tie-breaking across all three event kinds (the property that makes runs
-// reproducible), shared-message staging/release, and the simulator-level
-// cancelled-timer skip at pop time.
+// reproducible), shared-message staging/release, the calendar backend's
+// equivalence to the forced heap (including its deterministic degradation
+// on pathological horizons), and the simulator-level cancelled-timer skip
+// at pop time.
 #include "slpdas/sim/event_queue.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "slpdas/rng.hpp"
 #include "slpdas/sim/simulator.hpp"
 #include "slpdas/wsn/topology.hpp"
 
@@ -171,6 +176,137 @@ TEST(EventQueueTest, RejectsNullMessageAndNullAction) {
   EventQueue queue;
   EXPECT_THROW((void)queue.stage_message(nullptr), std::invalid_argument);
   EXPECT_THROW(queue.push_control(1, nullptr), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Calendar backend: equivalence to the forced heap, and the deterministic
+// degradation triggers.
+// ---------------------------------------------------------------------------
+
+/// Pops every event of a timer-only queue, recording (timestamp, sequence).
+std::vector<std::pair<SimTime, std::uint64_t>> drain_keys(EventQueue& queue) {
+  std::vector<std::pair<SimTime, std::uint64_t>> keys;
+  SimTime now = 0;
+  while (!queue.empty()) {
+    const Event event = queue.pop(now);
+    keys.emplace_back(event.at, event.sequence());
+  }
+  return keys;
+}
+
+TEST(EventQueueBackendTest, ForcedHeapBackendIsConstructible) {
+  EventQueue queue(EventQueue::Backend::kHeap);
+  EXPECT_EQ(queue.backend(), EventQueue::Backend::kHeap);
+  queue.push_timer(20, 0, 1, 1);
+  queue.push_timer(10, 0, 1, 2);
+  SimTime now = 0;
+  EXPECT_EQ(queue.pop(now).at, 10);
+  EXPECT_EQ(queue.pop(now).at, 20);
+  EXPECT_EQ(now, 20);
+}
+
+TEST(EventQueueBackendTest, CalendarMatchesHeapOnMixedHorizonWorkload) {
+  // The same randomised push/pop interleaving — propagation-scale pushes,
+  // dissemination bursts, far-horizon tails, duplicate timestamps — must
+  // pop in the identical (timestamp, sequence) order on both backends.
+  // Sequence numbers advance identically on every push flavour, so equal
+  // key streams mean bit-identical simulations.
+  EventQueue calendar(EventQueue::Backend::kCalendar);
+  EventQueue heap(EventQueue::Backend::kHeap);
+  Rng rng(2024);
+  SimTime calendar_now = 0;
+  SimTime heap_now = 0;
+  std::vector<std::pair<SimTime, std::uint64_t>> calendar_keys;
+  std::vector<std::pair<SimTime, std::uint64_t>> heap_keys;
+  SimTime now = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t action = rng.uniform(100);
+    if (action < 60 || calendar.empty()) {
+      SimTime delay;
+      const std::uint64_t band = rng.uniform(100);
+      if (band < 80) {
+        delay = static_cast<SimTime>(rng.uniform(50'000));  // slot scale
+      } else if (band < 95) {
+        delay = static_cast<SimTime>(rng.uniform(1'000'000));  // dissem
+      } else {
+        delay = static_cast<SimTime>(rng.uniform(20'000'000));  // far tail
+      }
+      const auto node = static_cast<wsn::NodeId>(rng.uniform(64));
+      calendar.push_timer(now + delay, node, 1, 0);
+      heap.push_timer(now + delay, node, 1, 0);
+    } else {
+      const Event from_calendar = calendar.pop(calendar_now);
+      const Event from_heap = heap.pop(heap_now);
+      calendar_keys.emplace_back(from_calendar.at, from_calendar.sequence());
+      heap_keys.emplace_back(from_heap.at, from_heap.sequence());
+      now = calendar_now;
+    }
+  }
+  const auto calendar_tail = drain_keys(calendar);
+  const auto heap_tail = drain_keys(heap);
+  calendar_keys.insert(calendar_keys.end(), calendar_tail.begin(),
+                       calendar_tail.end());
+  heap_keys.insert(heap_keys.end(), heap_tail.begin(), heap_tail.end());
+  ASSERT_EQ(calendar_keys.size(), heap_keys.size());
+  EXPECT_EQ(calendar_keys, heap_keys);
+  // This workload is calendar-friendly: no degradation.
+  EXPECT_EQ(calendar.backend(), EventQueue::Backend::kCalendar);
+}
+
+TEST(EventQueueBackendTest, DegradesToHeapOnPathologicalFarHorizon) {
+  // Thousands of events, each a calendar revolution apart: every refill
+  // re-anchors and re-partitions the whole far overflow to surface ONE
+  // event. The far-scan accounting must notice and migrate to the heap —
+  // and the pop order must be unaffected.
+  constexpr int kEvents = 4000;
+  constexpr SimTime kStride =
+      (static_cast<SimTime>(EventQueue::kNumBuckets) + 7)
+      << EventQueue::kBucketShift;
+  EventQueue calendar;
+  EventQueue heap(EventQueue::Backend::kHeap);
+  for (int i = 0; i < kEvents; ++i) {
+    // Ascending, so all but the anchor land in the far overflow and every
+    // pop's refill re-partitions the remaining far events.
+    const SimTime at = static_cast<SimTime>(i + 1) * kStride;
+    calendar.push_timer(at, 0, 1, 0);
+    heap.push_timer(at, 0, 1, 0);
+  }
+  EXPECT_EQ(calendar.backend(), EventQueue::Backend::kCalendar);
+  const auto calendar_keys = drain_keys(calendar);
+  EXPECT_EQ(calendar.backend(), EventQueue::Backend::kHeap)
+      << "far-horizon workload should have degraded the calendar";
+  EXPECT_EQ(calendar_keys, drain_keys(heap));
+}
+
+TEST(EventQueueBackendTest, DegradesToHeapOnOvercrowdedSortedWindow) {
+  // Descending timestamps inside one bucket: every push inserts at the
+  // window's front, shifting the whole tail. Once the cumulative shift
+  // cost dwarfs the push count the queue must switch to the heap rather
+  // than go quadratic — again without reordering anything.
+  constexpr int kEvents = 3000;
+  EventQueue calendar;
+  EventQueue heap(EventQueue::Backend::kHeap);
+  for (int i = 0; i < kEvents; ++i) {
+    const SimTime at = static_cast<SimTime>(kEvents - i);
+    calendar.push_timer(at, 0, 1, 0);
+    heap.push_timer(at, 0, 1, 0);
+  }
+  EXPECT_EQ(calendar.backend(), EventQueue::Backend::kHeap)
+      << "descending same-bucket pushes should have degraded the calendar";
+  EXPECT_EQ(drain_keys(calendar), drain_keys(heap));
+}
+
+TEST(EventQueueBackendTest, ReserveKeepsOrderAndSize) {
+  EventQueue queue;
+  queue.push_timer(30, 0, 1, 1);
+  queue.push_timer(10, 0, 1, 2);
+  queue.reserve(4096, 64);
+  queue.push_timer(20, 0, 1, 3);
+  EXPECT_EQ(queue.size(), 3u);
+  SimTime now = 0;
+  EXPECT_EQ(queue.pop(now).at, 10);
+  EXPECT_EQ(queue.pop(now).at, 20);
+  EXPECT_EQ(queue.pop(now).at, 30);
 }
 
 // ---------------------------------------------------------------------------

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -325,6 +326,80 @@ TEST(ScenarioReportTest, RejectsTamperedSideLabelsInsteadOfFeedingMakeGrid) {
                 std::string::npos)
           << error.what();
     }
+  }
+}
+
+/// Whitespace-delimited tokens that are exactly "-" — the placeholder the
+/// perf reports render for numbers a cell does not carry. Label dashes
+/// (slp-das, protectionless-das) are embedded in longer tokens and don't
+/// count.
+int dash_tokens(const std::string& line) {
+  std::istringstream in(line);
+  int dashes = 0;
+  std::string token;
+  while (in >> token) {
+    dashes += token == "-" ? 1 : 0;
+  }
+  return dashes;
+}
+
+TEST(ScenarioReportTest, MixedCachedAndComputedPerfCellsRenderDashes) {
+  // Cache hits (and merged shards from a --deterministic run) restore a
+  // cell's metrics but not its wall clock or perf block. A report over
+  // such a mixed document must render '-' placeholders in the cached row
+  // and real numbers everywhere else — not 0.00 noise, and not an error.
+  ScenarioRegistry registry;
+  register_builtin_scenarios(registry);
+
+  ScenarioOptions options;
+  options.smoke = true;
+  ThreadPool pool(2);
+
+  // scenario name -> number of columns the report draws from the perf
+  // block or wall clock (and so must render '-' for the cached row).
+  const std::pair<const char*, int> cases[] = {{"perf_sim", 4},
+                                               {"scal_grid", 2}};
+  for (const auto& [name, dash_columns] : cases) {
+    SCOPED_TRACE(name);
+    const Scenario* scenario = registry.find(name);
+    ASSERT_NE(scenario, nullptr);
+    ScenarioExecution execution;  // wall-clock timing: perf blocks on
+    SweepJson document = run_scenario(*scenario, options, execution, pool);
+    ASSERT_FALSE(document.cells.empty());
+    for (const SweepJsonCell& cell : document.cells) {
+      ASSERT_TRUE(cell.has_perf) << cell.label;
+      ASSERT_GT(cell.wall_seconds, 0.0) << cell.label;
+    }
+
+    // Guarantee the document is mixed even for single-cell smoke grids,
+    // then strip the first cell down to what a cache hit restores.
+    document.cells.push_back(document.cells.front());
+    SweepJsonCell& cached = document.cells.front();
+    cached.has_perf = false;
+    cached.perf_events = 0;
+    cached.perf_deliveries = 0;
+    cached.perf_timer_fires = 0;
+    cached.perf_events_per_sec = 0.0;
+    cached.wall_seconds = 0.0;
+
+    std::ostringstream report;
+    ASSERT_EQ(scenario->report(report, document, options), 0);
+
+    // Exactly one rendered line — the cached cell's row — carries '-'
+    // placeholders, and it carries one per perf-derived column.
+    std::istringstream lines(report.str());
+    std::string line;
+    int lines_with_dashes = 0;
+    int dashes_in_row = 0;
+    while (std::getline(lines, line)) {
+      const int dashes = dash_tokens(line);
+      if (dashes > 0) {
+        ++lines_with_dashes;
+        dashes_in_row = dashes;
+      }
+    }
+    EXPECT_EQ(lines_with_dashes, 1) << report.str();
+    EXPECT_EQ(dashes_in_row, dash_columns) << report.str();
   }
 }
 
