@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 namespace slpdas::sim {
 
@@ -18,10 +19,22 @@ inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
 inline constexpr SimTime kSecond = 1000 * kMillisecond;
 
 /// Converts seconds (possibly fractional) to SimTime, rounding to the
-/// nearest microsecond.
+/// nearest microsecond. Values beyond the SimTime range (including
+/// infinities) saturate to the range limits and NaN maps to 0: the
+/// double→int64 cast is UB when the truncated value is unrepresentable,
+/// and experiment specs parse durations from user-supplied JSON.
 [[nodiscard]] constexpr SimTime from_seconds(double seconds) noexcept {
   const double micros = seconds * 1e6;
-  return static_cast<SimTime>(micros >= 0 ? micros + 0.5 : micros - 0.5);
+  const double rounded = micros >= 0 ? micros + 0.5 : micros - 0.5;
+  // Largest double below 2^63; everything at or above it is out of range.
+  constexpr double kMax = 9223372036854774784.0;
+  if (!(rounded >= -kMax)) {  // also catches NaN
+    return rounded < 0 ? std::numeric_limits<SimTime>::min() : SimTime{0};
+  }
+  if (rounded > kMax) {
+    return std::numeric_limits<SimTime>::max();
+  }
+  return static_cast<SimTime>(rounded);
 }
 
 /// Converts SimTime to (fractional) seconds for reporting.

@@ -357,6 +357,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       try {
         batch.run_range(config.base_seed, first, last,
                         runs.data() + static_cast<std::size_t>(first));
+        // slpdas-lint: allow(bare-catch): worker boundary; the exception_ptr is preserved and rethrown on the caller's thread
       } catch (...) {
         const std::scoped_lock lock(mutex);
         if (!first_error) {

@@ -109,6 +109,7 @@ std::uint64_t derive_cell_seed(std::uint64_t base_seed,
 
 namespace {
 
+// slpdas-lint: allow(wall-clock): wall_seconds/perf telemetry, zeroed under --deterministic, never feeds a simulation
 using Clock = std::chrono::steady_clock;
 
 double seconds_between(Clock::time_point from, Clock::time_point to) {
@@ -129,6 +130,11 @@ struct CellProgress {
   /// peak memory scales with the cells in flight, not the grid.
   std::once_flag build_topology;
   wsn::Topology topology;
+  /// Set inside the call_once when the build throws; every slice rethrows
+  /// it. The exception must NOT escape the call_once callable itself:
+  /// TSan's pthread_once interceptor does not unwind its once-guard, so a
+  /// throwing callable leaves every other waiter blocked forever.
+  std::exception_ptr build_error;
   /// The cell's shared run-invariant state, built right after the
   /// topology (which it references — reset FIRST on release). Absent in
   /// unbatched mode.
@@ -351,16 +357,28 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
             state.failed.store(true);
           } else {
             // First worker on the cell materialises its topology and
-            // hoists the batch state; a build failure leaves the flag
-            // unset, so every slice retries, throws the same error, and
-            // the sweep reports it once below.
+            // hoists the batch state. A build failure is captured as an
+            // exception_ptr rather than thrown out of the callable: the
+            // call_once then completes (its synchronisation publishes
+            // build_error to every slice, which rethrows below) and the
+            // once-guard is never left locked — TSan's pthread_once
+            // interceptor does not release the guard on unwind, so a
+            // throwing callable would deadlock every waiting slice.
             const bool unbatched = options.unbatched;
             std::call_once(state.build_topology, [&state, &cell, unbatched] {
-              state.topology = cell.config.topology.build();
-              if (!unbatched) {
-                state.batch.emplace(cell.config, state.topology);
+              try {
+                state.topology = cell.config.topology.build();
+                if (!unbatched) {
+                  state.batch.emplace(cell.config, state.topology);
+                }
+                // slpdas-lint: allow(bare-catch): rethrown via exception_ptr below with full type; catching everything keeps the once-guard released
+              } catch (...) {
+                state.build_error = std::current_exception();
               }
             });
+            if (state.build_error) {
+              std::rethrow_exception(state.build_error);
+            }
             if (options.unbatched) {
               for (int run = first; run < last; ++run) {
                 const std::uint64_t seed =
@@ -384,6 +402,7 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
             first_error = std::make_exception_ptr(std::runtime_error(
                 "sweep cell '" + cell.label + "': " + error.what()));
           }
+          // slpdas-lint: allow(bare-catch): worker boundary; typed handler above names every std::exception, an escaped exception would kill the pool
         } catch (...) {
           state.failed.store(true);
           const std::scoped_lock lock(mutex);

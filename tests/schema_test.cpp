@@ -1,0 +1,261 @@
+// Validates every serialised document shape against the versioned schema
+// files in tests/schemas/ — the same files CI's validate.py applies to
+// generated artifacts — using the C++ subset validator in
+// schema_validator.hpp. Covers freshly generated sweep documents (both
+// timing modes), cell-stream lines, cell-cache entry files, the
+// committed bench_results/ baselines, and that the validator actually
+// rejects shape violations (so a green run means something).
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "schema_validator.hpp"
+#include "slpdas/core/cell_cache.hpp"
+#include "slpdas/core/scenario.hpp"
+#include "slpdas/core/sweep.hpp"
+#include "test_util.hpp"
+
+namespace slpdas::core {
+namespace {
+
+using test::SchemaSet;
+using Value = core::detail::JsonParser::Value;
+
+constexpr const char* kSweepSchema = "slpdas.sweep.v2.schema.json";
+constexpr const char* kCellSchema = "slpdas.cell.v1.schema.json";
+constexpr const char* kCacheSchema = "slpdas.cachecell.v1.schema.json";
+constexpr const char* kMicroSchema = "benchmark.micro.v1.schema.json";
+
+ExperimentConfig small_base(int runs = 2) {
+  ExperimentConfig config;
+  config.topology = wsn::TopologySpec::grid(5);
+  config.parameters = test::fast_parameters(24);
+  config.radio = RadioKind::kCasinoLab;
+  config.runs = runs;
+  config.check_schedules = false;
+  return config;
+}
+
+/// Two cheap cells (one protocol axis) — enough to exercise every field.
+std::vector<SweepCell> small_cells(int runs = 2) {
+  SweepGrid grid(small_base(runs));
+  grid.axis("protocol",
+            {{"protectionless-das",
+              [](ExperimentConfig& config) {
+                config.protocol = ProtocolKind::kProtectionlessDas;
+              }},
+             {"slp-das",
+              [](ExperimentConfig& config) {
+                config.protocol = ProtocolKind::kSlpDas;
+              }}});
+  return grid.expand();
+}
+
+SchemaSet schemas() { return SchemaSet(SLPDAS_SCHEMA_DIR); }
+
+Value parse_text(const std::string& text) {
+  core::detail::JsonParser parser(text);
+  return parser.parse();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) {
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+testing::AssertionResult no_errors(const std::vector<std::string>& errors) {
+  if (errors.empty()) {
+    return testing::AssertionSuccess();
+  }
+  auto result = testing::AssertionFailure();
+  for (const std::string& error : errors) {
+    result << "\n  " << error;
+  }
+  return result;
+}
+
+TEST(SchemaFilesTest, AllSchemaFilesParse) {
+  SchemaSet set = schemas();
+  for (const char* name :
+       {kSweepSchema, kCellSchema, kCacheSchema, kMicroSchema}) {
+    EXPECT_NO_THROW(set.load(name)) << name;
+  }
+}
+
+TEST(SchemaSweepTest, DeterministicDocumentValidates) {
+  SweepOptions options;
+  options.threads = 2;
+  options.base_seed = 7;
+  options.deterministic_timing = true;
+  const SweepResult result = run_sweep(small_cells(), options);
+  std::ostringstream out;
+  write_sweep_json(out, result, "schema_smoke");
+  const Value document = parse_text(out.str());
+  EXPECT_TRUE(no_errors(schemas().validate(document, kSweepSchema)));
+  // Deterministic cells must NOT carry the perf block.
+  for (const Value& cell : document.at("cells").as_array()) {
+    EXPECT_EQ(cell.find("perf"), nullptr);
+  }
+}
+
+TEST(SchemaSweepTest, RealClockDocumentCarriesPerfAndValidates) {
+  SweepOptions options;
+  options.threads = 2;
+  options.base_seed = 7;
+  const SweepResult result = run_sweep(small_cells(), options);
+  std::ostringstream out;
+  write_sweep_json(out, result, "schema_smoke");
+  const Value document = parse_text(out.str());
+  EXPECT_TRUE(no_errors(schemas().validate(document, kSweepSchema)));
+  for (const Value& cell : document.at("cells").as_array()) {
+    EXPECT_NE(cell.find("perf"), nullptr);
+  }
+}
+
+TEST(SchemaCellStreamTest, HeaderAndRecordsValidate) {
+  const auto cells = small_cells();
+  SweepOptions options;
+  options.threads = 2;
+  options.base_seed = 7;
+  options.deterministic_timing = true;
+  std::ostringstream stream;
+  CellStreamHeader header;
+  header.name = "schema_smoke";
+  header.base_seed = options.base_seed;
+  header.grid_hash = hash_sweep_grid(cells);
+  header.shard_index = 0;
+  header.shard_count = 1;
+  header.cells_total = cells.size();
+  header.deterministic = true;
+  header.threads = options.threads;
+  write_cell_stream_header(stream, header);
+  options.stream = &stream;
+  (void)run_sweep(cells, options);
+
+  const std::vector<std::string> lines = split_lines(stream.str());
+  ASSERT_EQ(lines.size(), 1 + cells.size());
+  SchemaSet set = schemas();
+  EXPECT_TRUE(no_errors(set.validate(
+      parse_text(lines[0]), std::string(kCellSchema) + "#/definitions/header")));
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_TRUE(no_errors(
+        set.validate(parse_text(lines[i]),
+                     std::string(kCellSchema) + "#/definitions/record")))
+        << "record line " << i;
+  }
+}
+
+TEST(SchemaCacheTest, StoredEntryLinesValidate) {
+  const auto cells = small_cells();
+  const std::string dir = testing::TempDir() + "/slpdas_schema_cache";
+  std::filesystem::remove_all(dir);
+  CellCache cache(dir);
+  SweepOptions options;
+  options.threads = 2;
+  options.base_seed = 7;
+  options.deterministic_timing = true;
+  options.cache = &cache;
+  (void)run_sweep(cells, options);
+  ASSERT_EQ(cache.stats().stores, cells.size());
+
+  SchemaSet set = schemas();
+  std::size_t entries = 0;
+  for (const auto& file : std::filesystem::directory_iterator(dir)) {
+    std::ifstream in(file.path(), std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::vector<std::string> lines = split_lines(text.str());
+    ASSERT_EQ(lines.size(), 2u) << file.path();
+    EXPECT_TRUE(no_errors(
+        set.validate(parse_text(lines[0]),
+                     std::string(kCacheSchema) + "#/definitions/header")))
+        << file.path();
+    EXPECT_TRUE(no_errors(
+        set.validate(parse_text(lines[1]),
+                     std::string(kCacheSchema) + "#/definitions/payload")))
+        << file.path();
+    ++entries;
+  }
+  EXPECT_EQ(entries, cells.size());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SchemaCommittedTest, BenchResultsBaselinesValidate) {
+  SchemaSet set = schemas();
+  std::size_t sweeps = 0;
+  std::size_t micros = 0;
+  for (const auto& file :
+       std::filesystem::directory_iterator(SLPDAS_BENCH_RESULTS_DIR)) {
+    const std::string name = file.path().filename().string();
+    if (name.find(".json") == std::string::npos) {
+      continue;
+    }
+    std::ifstream in(file.path(), std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    const Value document = parse_text(text.str());
+    const bool micro = name.rfind("BENCH_micro", 0) == 0;
+    EXPECT_TRUE(no_errors(
+        set.validate(document, micro ? kMicroSchema : kSweepSchema)))
+        << name;
+    (micro ? micros : sweeps) += 1;
+  }
+  // The committed baseline set: keep these counts in step with
+  // bench_results/ so a new artifact cannot dodge validation.
+  EXPECT_GE(sweeps, 2u);
+  EXPECT_GE(micros, 1u);
+}
+
+TEST(SchemaViolationTest, ValidatorRejectsShapeDrift) {
+  SweepOptions options;
+  options.threads = 1;
+  options.base_seed = 7;
+  options.deterministic_timing = true;
+  const SweepResult result = run_sweep(small_cells(), options);
+  std::ostringstream out;
+  write_sweep_json(out, result, "schema_smoke");
+  SchemaSet set = schemas();
+
+  // Missing required key.
+  Value document = parse_text(out.str());
+  std::erase_if(document.object,
+                [](const auto& entry) { return entry.first == "grid_hash"; });
+  EXPECT_FALSE(set.validate(document, kSweepSchema).empty());
+
+  // Wrong scalar type.
+  document = parse_text(out.str());
+  for (auto& [key, value] : document.object) {
+    if (key == "name") {
+      value = Value{};  // null where a string is required
+    }
+  }
+  EXPECT_FALSE(set.validate(document, kSweepSchema).empty());
+
+  // Unexpected key where additionalProperties is false.
+  document = parse_text(out.str());
+  document.object.emplace_back("surprise", Value{});
+  EXPECT_FALSE(set.validate(document, kSweepSchema).empty());
+
+  // Wrong schema tag.
+  document = parse_text(out.str());
+  for (auto& [key, value] : document.object) {
+    if (key == "schema") {
+      value.string = "slpdas.sweep.v1";
+    }
+  }
+  EXPECT_FALSE(set.validate(document, kSweepSchema).empty());
+}
+
+}  // namespace
+}  // namespace slpdas::core

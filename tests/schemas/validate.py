@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Validate slpdas JSON documents against the versioned schema files.
+
+This is the CI-side mirror of the C++ subset validator in
+tests/schema_validator.hpp; both implement the same JSON-Schema subset
+(type, const, enum, required, properties, additionalProperties, items,
+minItems/maxItems, minimum, minLength/maxLength, definitions and $ref —
+including refs across schema files in the same directory). Keep the two
+in sync: the C++ side is the one exercised by schema_test, this one is
+what CI actually runs against generated artifacts.
+
+Usage:
+  validate.py SCHEMA.json FILE...
+      Validate each FILE (a whole JSON document) against SCHEMA.
+
+  validate.py SCHEMA.json --lines HEADER_REF RECORD_REF FILE...
+      Treat each FILE as JSONL: line 1 validates against the schema
+      fragment HEADER_REF (e.g. '#/definitions/header'), every later
+      non-empty line against RECORD_REF.
+
+Exit status: 0 all documents valid, 1 violations found, 2 usage/IO error.
+"""
+
+import json
+import os
+import sys
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+class SchemaSet:
+    """Loads schema files from one directory and resolves $refs."""
+
+    def __init__(self, directory):
+        self.directory = directory
+        self._cache = {}
+
+    def load(self, name):
+        if name not in self._cache:
+            path = os.path.join(self.directory, name)
+            with open(path, encoding="utf-8") as handle:
+                self._cache[name] = json.load(handle)
+        return self._cache[name]
+
+    def resolve(self, ref, current_file):
+        """Returns (schema_fragment, owning_file) for a $ref string."""
+        file_part, _, pointer = ref.partition("#")
+        owner = file_part or current_file
+        node = self.load(owner)
+        for step in pointer.strip("/").split("/"):
+            if step:
+                node = node[step]
+        return node, owner
+
+    def validate(self, value, ref, path="$"):
+        schema, owner = self.resolve(ref, current_file=None)
+        errors = []
+        self._check(value, schema, owner, path, errors)
+        return errors
+
+    def _check(self, value, schema, owner, path, errors):
+        if "$ref" in schema:
+            schema, owner = self.resolve(schema["$ref"], owner)
+            self._check(value, schema, owner, path, errors)
+            return
+
+        if "const" in schema and value != schema["const"]:
+            errors.append(f"{path}: expected {schema['const']!r}, "
+                          f"got {value!r}")
+        if "enum" in schema and value not in schema["enum"]:
+            errors.append(f"{path}: {value!r} not one of {schema['enum']}")
+
+        if "type" in schema:
+            allowed = schema["type"]
+            if isinstance(allowed, str):
+                allowed = [allowed]
+            if not any(self._has_type(value, t) for t in allowed):
+                errors.append(f"{path}: expected type {'/'.join(allowed)}, "
+                              f"got {type(value).__name__}")
+                return  # structural keywords below assume the right type
+
+        if isinstance(value, bool):
+            return  # bool is an int in Python; keep it out of minimum
+        if isinstance(value, (int, float)):
+            if "minimum" in schema and value < schema["minimum"]:
+                errors.append(f"{path}: {value} < minimum "
+                              f"{schema['minimum']}")
+        if isinstance(value, str):
+            if "minLength" in schema and len(value) < schema["minLength"]:
+                errors.append(f"{path}: string shorter than "
+                              f"{schema['minLength']}")
+            if "maxLength" in schema and len(value) > schema["maxLength"]:
+                errors.append(f"{path}: string longer than "
+                              f"{schema['maxLength']}")
+        if isinstance(value, list):
+            if "minItems" in schema and len(value) < schema["minItems"]:
+                errors.append(f"{path}: fewer than {schema['minItems']} "
+                              f"items")
+            if "maxItems" in schema and len(value) > schema["maxItems"]:
+                errors.append(f"{path}: more than {schema['maxItems']} items")
+            if "items" in schema:
+                for i, item in enumerate(value):
+                    self._check(item, schema["items"], owner,
+                                f"{path}[{i}]", errors)
+        if isinstance(value, dict):
+            for key in schema.get("required", ()):
+                if key not in value:
+                    errors.append(f"{path}: missing required key '{key}'")
+            properties = schema.get("properties", {})
+            for key, sub in properties.items():
+                if key in value:
+                    self._check(value[key], sub, owner,
+                                f"{path}.{key}", errors)
+            extra = schema.get("additionalProperties", True)
+            if extra is not True:
+                for key in value:
+                    if key in properties:
+                        continue
+                    if extra is False:
+                        errors.append(f"{path}: unexpected key '{key}'")
+                    else:
+                        self._check(value[key], extra, owner,
+                                    f"{path}.{key}", errors)
+
+    @staticmethod
+    def _has_type(value, name):
+        if name == "null":
+            return value is None
+        if name == "boolean":
+            return isinstance(value, bool)
+        if name == "integer":
+            return isinstance(value, int) and not isinstance(value, bool)
+        if name == "number":
+            return (isinstance(value, (int, float))
+                    and not isinstance(value, bool))
+        if name == "string":
+            return isinstance(value, str)
+        if name == "array":
+            return isinstance(value, list)
+        if name == "object":
+            return isinstance(value, dict)
+        raise ValueError(f"unknown type name in schema: {name}")
+
+
+def main(argv):
+    args = list(argv[1:])
+    if not args:
+        print(__doc__, file=sys.stderr)
+        return 2
+    schema_path = args.pop(0)
+    line_refs = None
+    if args and args[0] == "--lines":
+        if len(args) < 4:
+            print("--lines needs HEADER_REF RECORD_REF FILE...",
+                  file=sys.stderr)
+            return 2
+        line_refs = (args[1], args[2])
+        args = args[3:]
+    if not args:
+        print("no input files", file=sys.stderr)
+        return 2
+
+    schemas = SchemaSet(os.path.dirname(os.path.abspath(schema_path)))
+    schema_name = os.path.basename(schema_path)
+    failures = 0
+    documents = 0
+    for input_path in args:
+        with open(input_path, encoding="utf-8") as handle:
+            if line_refs is None:
+                errors = schemas.validate(json.load(handle),
+                                          schema_name + "#")
+                documents += 1
+            else:
+                errors = []
+                seen = 0
+                for lineno, line in enumerate(handle, start=1):
+                    if not line.strip():
+                        continue
+                    ref = schema_name + line_refs[0 if seen == 0 else 1]
+                    seen += 1
+                    errors.extend(
+                        f"line {lineno}: {e}"
+                        for e in schemas.validate(json.loads(line), ref))
+                documents += seen
+        for error in errors:
+            print(f"{input_path}: {error}")
+        failures += len(errors)
+    if failures:
+        print(f"schema validation: {failures} violation(s)")
+        return 1
+    print(f"schema validation: {documents} document(s) valid "
+          f"against {schema_name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,62 @@
+// Regression tests for SimTime conversion arithmetic.
+//
+// from_seconds casts a double to int64 after scaling by 1e6; before the
+// saturation guard that cast was undefined behaviour for any duration
+// beyond ~292 million years, for infinities, and for NaN — all of which
+// are reachable from user-supplied JSON experiment specs ("duration":
+// 1e300 parses fine). UBSan flagged the cast; these tests pin the
+// saturating semantics the guard introduced.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "slpdas/sim/time.hpp"
+
+namespace slpdas::sim {
+namespace {
+
+TEST(SimTimeTest, FromSecondsRoundsToNearestMicrosecond) {
+  EXPECT_EQ(from_seconds(0.0), 0);
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+  EXPECT_EQ(from_seconds(0.05), 50 * kMillisecond);
+  EXPECT_EQ(from_seconds(5.5), 5 * kSecond + 500 * kMillisecond);
+  // Rounding, both signs: 1.4 µs -> 1, 1.6 µs -> 2.
+  EXPECT_EQ(from_seconds(1.4e-6), 1);
+  EXPECT_EQ(from_seconds(1.6e-6), 2);
+  EXPECT_EQ(from_seconds(-1.4e-6), -1);
+  EXPECT_EQ(from_seconds(-1.6e-6), -2);
+}
+
+TEST(SimTimeTest, FromSecondsSaturatesInsteadOfOverflowing) {
+  constexpr SimTime kMax = std::numeric_limits<SimTime>::max();
+  constexpr SimTime kMin = std::numeric_limits<SimTime>::min();
+  // 2^63 µs is about 2.9e12 seconds; anything past that saturates.
+  EXPECT_EQ(from_seconds(1e300), kMax);
+  EXPECT_EQ(from_seconds(-1e300), kMin);
+  EXPECT_EQ(from_seconds(std::numeric_limits<double>::max()), kMax);
+  EXPECT_EQ(from_seconds(std::numeric_limits<double>::infinity()), kMax);
+  EXPECT_EQ(from_seconds(-std::numeric_limits<double>::infinity()), kMin);
+}
+
+TEST(SimTimeTest, FromSecondsMapsNanToZero) {
+  EXPECT_EQ(from_seconds(std::numeric_limits<double>::quiet_NaN()), 0);
+  EXPECT_EQ(from_seconds(-std::numeric_limits<double>::quiet_NaN()), 0);
+}
+
+TEST(SimTimeTest, LargeRepresentableValuesStillConvertExactly) {
+  // One year in seconds is well inside the range and must be exact.
+  const double year = 365.25 * 24 * 3600;
+  EXPECT_EQ(from_seconds(year), static_cast<SimTime>(year) * kSecond);
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(year)), year);
+}
+
+TEST(SimTimeTest, RoundTripsThroughToSeconds) {
+  for (const SimTime time : {SimTime{0}, kMicrosecond, kMillisecond, kSecond,
+                             50 * kMillisecond, -3 * kSecond}) {
+    EXPECT_EQ(from_seconds(to_seconds(time)), time);
+  }
+}
+
+}  // namespace
+}  // namespace slpdas::sim

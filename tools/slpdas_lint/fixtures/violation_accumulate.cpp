@@ -1,0 +1,16 @@
+// Deliberate float-accumulate violations. Never compiled.
+#include <numeric>
+#include <vector>
+
+double fixture_accumulate(const std::vector<double>& samples) {
+  const double bad = std::accumulate(samples.begin(), samples.end(), 0.0);  // finding
+  const double bad_typed =
+      std::accumulate(samples.begin(), samples.end(), double{0});  // finding
+  // Integer reductions are exact and order-independent — not a finding:
+  std::vector<int> counts{1, 2, 3};
+  const int fine = std::accumulate(counts.begin(), counts.end(), 0);
+  // A documented reduction order is NOT a finding:
+  // slpdas-lint: ordered-reduction: left-to-right in sample index order
+  const double ok = std::accumulate(samples.begin(), samples.end(), 0.0);
+  return bad + bad_typed + ok + fine;
+}

@@ -1,0 +1,29 @@
+// Deliberate bare-catch violations. Never compiled.
+#include <exception>
+
+int fixture_catch(int (*risky)()) {
+  try {
+    return risky();
+  } catch (const std::exception&) {
+    return -1;
+  } catch (...) {  // finding: bare catch
+    return -2;
+  }
+}
+
+int fixture_catch_spaced(int (*risky)()) {
+  try {
+    return risky();
+  } catch ( ... ) {  // finding: bare catch, interior spacing
+    return -2;
+  }
+}
+
+int fixture_catch_justified(int (*risky)()) {
+  try {
+    return risky();
+    // slpdas-lint: allow(bare-catch): fixture worker boundary, rethrow kills pool
+  } catch (...) {
+    return -3;
+  }
+}

@@ -1,0 +1,28 @@
+// Deliberate unordered-iteration violations in a "serialisation" file
+// (this fixture pretends to include json.hpp). Never compiled.
+#include "json.hpp"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+void fixture_unordered(std::ostream& out) {
+  std::unordered_map<std::string, int> counters;
+  std::unordered_set<int> slots;
+  counters["x"] = 1;
+  // Membership tests are fine — only iteration order leaks hash order:
+  if (slots.contains(3) && counters.count("x") != 0) {
+    out << "ok";
+  }
+  for (const auto& [key, value] : counters) {  // finding: range-for
+    out << key << value;
+  }
+  for (auto it = slots.begin(); it != slots.end(); ++it) {  // finding: begin()
+    out << *it;
+  }
+  // A justified site is NOT a finding (e.g. order-insensitive fold):
+  // slpdas-lint: allow(unordered-serialisation): summed into one scalar
+  for (const auto& [key, value] : counters) {
+    out << value;
+  }
+}

@@ -1,0 +1,21 @@
+// Deliberate wall-clock violations: the lint self-test requires one
+// finding per marked line. Never compiled.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int fixture_wall_clock() {
+  std::random_device entropy;                       // finding: random_device
+  const auto now = std::chrono::system_clock::now();  // finding: system_clock
+  const long stamp = time(nullptr);                 // finding: time()
+  srand(42);                                        // finding: srand()
+  const int noise = rand();                         // finding: rand()
+  // A justified telemetry site is NOT a finding:
+  // slpdas-lint: allow(wall-clock): fixture telemetry, never seeds a run
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)entropy;
+  (void)now;
+  (void)t0;
+  return noise + static_cast<int>(stamp);
+}

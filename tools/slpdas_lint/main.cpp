@@ -1,0 +1,61 @@
+// slpdas_lint CLI.
+//
+//   slpdas_lint [--json] PATH [PATH...]
+//
+// Lints every .hpp/.h/.cpp/.cc under each PATH (files or directories;
+// directories named "fixtures" are skipped). Exit status: 0 clean,
+// 1 findings, 2 usage or I/O error. --json emits one JSON object per
+// finding on stdout (the machine-readable format CI parses); the default
+// is a compiler-style human format.
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: slpdas_lint [--json] PATH [PATH...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "slpdas_lint: unknown flag '" << arg << "'\n";
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: slpdas_lint [--json] PATH [PATH...]\n";
+    return 2;
+  }
+
+  std::vector<slpdas::lint::Finding> findings;
+  try {
+    for (const std::string& root : roots) {
+      std::vector<slpdas::lint::Finding> part = slpdas::lint::lint_tree(root);
+      findings.insert(findings.end(), part.begin(), part.end());
+    }
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << '\n';
+    return 2;
+  }
+
+  if (json) {
+    std::cout << slpdas::lint::format_json(findings);
+  } else {
+    std::cout << slpdas::lint::format_text(findings);
+  }
+  if (!findings.empty()) {
+    std::cerr << "slpdas_lint: " << findings.size() << " finding(s)\n";
+    return 1;
+  }
+  std::cerr << "slpdas_lint: clean\n";
+  return 0;
+}

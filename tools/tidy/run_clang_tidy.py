@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Gating clang-tidy runner with a per-file result cache.
+
+Runs clang-tidy (the repo-root .clang-tidy profile, warnings as errors)
+over every translation unit in a compile_commands.json that lives under
+the requested source prefixes, and caches *clean* verdicts per file so
+an unchanged file never re-lints. The cache key for a file is the
+SHA-256 of:
+
+  * the clang-tidy version string,
+  * the .clang-tidy configuration,
+  * a global header fingerprint (every .hpp under include/ and src/ —
+    any header edit conservatively invalidates every file), and
+  * the file's own bytes plus its exact compile command.
+
+CI persists the cache directory with actions/cache, so a typical PR
+re-lints only the files it touched. Warnings are never cached: a dirty
+file fails the run and will re-run until it is clean.
+
+Usage:
+  run_clang_tidy.py -p BUILD_DIR [--cache-dir DIR] [--jobs N]
+                    [--clang-tidy BIN] [PREFIX...]
+
+PREFIX defaults to src include. Exit status: 0 clean, 1 findings,
+2 environment/usage error.
+"""
+
+import argparse
+import hashlib
+import json
+import multiprocessing.pool
+import os
+import subprocess
+import sys
+
+
+def sha256_file(path, hasher):
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            hasher.update(chunk)
+
+
+def global_fingerprint(root, tidy_binary):
+    hasher = hashlib.sha256()
+    try:
+        version = subprocess.run([tidy_binary, "--version"], check=True,
+                                 capture_output=True, text=True).stdout
+    except (OSError, subprocess.CalledProcessError) as error:
+        print(f"cannot run {tidy_binary}: {error}", file=sys.stderr)
+        raise SystemExit(2) from error
+    hasher.update(version.encode())
+    sha256_file(os.path.join(root, ".clang-tidy"), hasher)
+    headers = []
+    for prefix in ("include", "src"):
+        for directory, _, files in os.walk(os.path.join(root, prefix)):
+            headers.extend(os.path.join(directory, f) for f in files
+                           if f.endswith((".hpp", ".h")))
+    for header in sorted(headers):
+        hasher.update(header.encode())
+        sha256_file(header, hasher)
+    return hasher.hexdigest()
+
+
+def entry_key(entry, global_hash):
+    hasher = hashlib.sha256()
+    hasher.update(global_hash.encode())
+    hasher.update(entry.get("command", " ".join(
+        entry.get("arguments", []))).encode())
+    sha256_file(entry["file"], hasher)
+    return hasher.hexdigest()
+
+
+def lint_one(task):
+    entry, tidy_binary, build_dir = task
+    result = subprocess.run(
+        [tidy_binary, "--quiet", "-p", build_dir, entry["file"]],
+        capture_output=True, text=True)
+    return entry["file"], result.returncode, result.stdout, result.stderr
+
+
+def main(argv):
+    parser = argparse.ArgumentParser()
+    parser.add_argument("-p", dest="build_dir", required=True)
+    parser.add_argument("--cache-dir", default=".tidy-cache")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1)
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("prefixes", nargs="*", default=["src", "include"])
+    args = parser.parse_args(argv[1:])
+
+    root = os.getcwd()
+    commands_path = os.path.join(args.build_dir, "compile_commands.json")
+    try:
+        with open(commands_path, encoding="utf-8") as handle:
+            commands = json.load(handle)
+    except OSError as error:
+        print(f"cannot read {commands_path}: {error} "
+              "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)",
+              file=sys.stderr)
+        return 2
+
+    prefixes = tuple(os.path.join(root, p) + os.sep for p in args.prefixes)
+    entries = [e for e in commands
+               if os.path.abspath(e["file"]).startswith(prefixes)]
+    if not entries:
+        print(f"no compile commands under {args.prefixes}", file=sys.stderr)
+        return 2
+
+    os.makedirs(args.cache_dir, exist_ok=True)
+    global_hash = global_fingerprint(root, args.clang_tidy)
+    pending = []
+    cached = 0
+    keys = {}
+    for entry in entries:
+        key = entry_key(entry, global_hash)
+        keys[entry["file"]] = key
+        if os.path.exists(os.path.join(args.cache_dir, key)):
+            cached += 1
+        else:
+            pending.append((entry, args.clang_tidy, args.build_dir))
+
+    print(f"clang-tidy: {len(entries)} file(s), {cached} cached clean, "
+          f"{len(pending)} to lint")
+    failures = 0
+    if pending:
+        with multiprocessing.pool.ThreadPool(args.jobs) as pool:
+            for file, code, stdout, stderr in pool.imap_unordered(
+                    lint_one, pending):
+                if code == 0 and "warning:" not in stdout:
+                    # Record the clean verdict; the filename inside is
+                    # only for humans inspecting the cache.
+                    marker = os.path.join(args.cache_dir, keys[file])
+                    with open(marker, "w", encoding="utf-8") as handle:
+                        handle.write(file + "\n")
+                    continue
+                failures += 1
+                print(f"== {file}")
+                sys.stdout.write(stdout)
+                # clang-tidy's own diagnostics ("N warnings generated")
+                # land on stderr; forward them only on failure.
+                sys.stderr.write(stderr)
+    if failures:
+        print(f"clang-tidy: {failures} file(s) with findings")
+        return 1
+    print("clang-tidy: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
