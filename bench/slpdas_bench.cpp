@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -29,6 +30,8 @@
 #include <vector>
 
 #include "slpdas/core/cell_cache.hpp"
+#include "slpdas/core/compare.hpp"
+#include "slpdas/core/fleet.hpp"
 #include "slpdas/core/scenario.hpp"
 #include "slpdas/detail/spec_format.hpp"
 #include "slpdas/metrics/table.hpp"
@@ -53,14 +56,22 @@ struct CliOptions {
   std::string stream_path;   ///< run: --stream JSONL file ("" = off)
   std::string cache_dir;     ///< run: --cache directory ("" = off)
   bool cache_readonly = false;
+  int workers = 4;           ///< fleet: local worker process count
+  int worker_threads = 1;    ///< fleet: pool size of each worker
+  std::string fleet_dir;     ///< fleet: claim/stream directory
+  std::string worker_name;   ///< fleet-worker: this incarnation's name
+  int heartbeat_ms = 250;    ///< fleet / fleet-worker: liveness cadence
+  bool fail_on_drift = false;  ///< compare: exit 1 on deterministic drift
 };
 
 int usage(std::ostream& out, int code) {
   out << "usage:\n"
          "  slpdas_bench list\n"
          "  slpdas_bench [run] (--all | SCENARIO...) [options]\n"
+         "  slpdas_bench fleet SCENARIO [--workers N] [options]\n"
          "  slpdas_bench report FILE...\n"
-         "  slpdas_bench merge FILE... [--out PATH]\n"
+         "  slpdas_bench merge (FILE | DIR)... [--out PATH]\n"
+         "  slpdas_bench compare A B [--fail-on-drift]\n"
          "  slpdas_bench cache (stats | verify | gc) DIR\n"
          "\nrun options:\n"
          "  --runs N         seeds per grid cell (0 = scenario default)\n"
@@ -84,7 +95,24 @@ int usage(std::ostream& out, int code) {
          "                   already-stored cells from DIR instead of\n"
          "                   simulating them, store the rest on completion\n"
          "                   (slpdas.cachecell.v1, one file per cell)\n"
-         "  --cache-readonly consult --cache DIR but never write to it\n";
+         "  --cache-readonly consult --cache DIR but never write to it\n"
+         "\nfleet options (multi-process sweep with cell-granular work "
+         "stealing):\n"
+         "  --workers N      local worker processes (default 4)\n"
+         "  --worker-threads N  pool size of EACH worker (default 1); the\n"
+         "                   folded document matches a single-process run\n"
+         "                   with --threads workers*worker-threads\n"
+         "  --fleet-dir DIR  claim/stream/log directory (default\n"
+         "                   OUT_DIR/fleet-<scenario>); an existing\n"
+         "                   directory for the same sweep is resumed\n"
+         "  --heartbeat-ms N worker liveness cadence (default 250)\n"
+         "\nmerge: a DIR argument globs its *.json / *.jsonl shard\n"
+         "artifacts — or, when DIR holds a shardmap.json, folds the whole\n"
+         "fleet directory.\n"
+         "\ncompare options:\n"
+         "  --fail-on-drift  exit 1 when any deterministic metric differs\n"
+         "                   or the cell sets do not match (wall clocks\n"
+         "                   and events/sec never count as drift)\n";
   return code;
 }
 
@@ -270,6 +298,47 @@ int report_files(const std::vector<std::string>& paths,
   return exit_code;
 }
 
+/// Loads one merge operand into `documents`: a .json sweep document, a
+/// .jsonl cell stream (folded first), or a directory — a fleet directory
+/// (one with a shardmap.json) folds as a whole; any other directory
+/// contributes every *.json / *.jsonl file inside, in name order.
+void collect_documents(const std::string& path,
+                       std::vector<core::SweepJson>& documents) {
+  namespace fs = std::filesystem;
+  if (fs::is_directory(path)) {
+    if (core::is_fleet_directory(path)) {
+      documents.push_back(core::fold_fleet_directory(path));
+      return;
+    }
+    std::vector<std::string> files;
+    for (const fs::directory_entry& entry : fs::directory_iterator(path)) {
+      const std::string extension = entry.path().extension().string();
+      if (entry.is_regular_file() &&
+          (extension == ".json" || extension == ".jsonl")) {
+        files.push_back(entry.path().string());
+      }
+    }
+    if (files.empty()) {
+      throw std::runtime_error(path +
+                               ": no *.json or *.jsonl shard artifacts");
+    }
+    std::sort(files.begin(), files.end());
+    for (const std::string& file : files) {
+      collect_documents(file, documents);
+    }
+    return;
+  }
+  if (path.size() > 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("cannot open " + path);
+    }
+    documents.push_back(core::fold_cell_stream(core::read_cell_stream(in)));
+    return;
+  }
+  documents.push_back(load_document(path));
+}
+
 int merge_files(const std::vector<std::string>& paths,
                 const std::string& out_path) {
   if (paths.size() < 1) {
@@ -278,7 +347,7 @@ int merge_files(const std::vector<std::string>& paths,
   std::vector<core::SweepJson> shards;
   shards.reserve(paths.size());
   for (const std::string& path : paths) {
-    shards.push_back(load_document(path));
+    collect_documents(path, shards);
   }
   const core::SweepJson merged = core::merge_sweep_shards(std::move(shards));
   if (out_path.empty()) {
@@ -291,6 +360,127 @@ int merge_files(const std::vector<std::string>& paths,
     }
     core::write_sweep_json(out, merged);
     std::cerr << "(wrote " << out_path << ")\n";
+  }
+  return 0;
+}
+
+/// Resolves the one scenario a fleet / fleet-worker invocation names,
+/// refusing unsupported scenario options exactly like `run`.
+const core::Scenario* resolve_single_scenario(const CliOptions& options,
+                                              const char* command) {
+  if (options.all || options.names.size() != 1) {
+    std::cerr << "slpdas_bench " << command
+              << " takes exactly one scenario\n";
+    return nullptr;
+  }
+  const core::Scenario* scenario =
+      core::ScenarioRegistry::global().find(options.names.front());
+  if (scenario == nullptr) {
+    std::cerr << "unknown scenario '" << options.names.front() << "'\n";
+    return nullptr;
+  }
+  const std::string problem =
+      core::unsupported_option(*scenario, options.scenario);
+  if (!problem.empty()) {
+    std::cerr << problem << '\n';
+    return nullptr;
+  }
+  return scenario;
+}
+
+int fleet_command(const CliOptions& options) {
+  const core::Scenario* scenario = resolve_single_scenario(options, "fleet");
+  if (scenario == nullptr) {
+    return 2;
+  }
+  if (options.threads != 0) {
+    std::cerr << "fleet: use --workers and --worker-threads (the folded "
+                 "document matches --threads workers*worker-threads)\n";
+    return 2;
+  }
+  if (options.shard_count > 1 || !options.stream_path.empty()) {
+    std::cerr << "fleet: --shard/--stream do not compose with fleet (the "
+                 "claim directory already distributes cells and every "
+                 "worker streams)\n";
+    return 2;
+  }
+  core::FleetOptions fleet;
+  fleet.directory = options.fleet_dir.empty()
+                        ? options.out_dir + "/fleet-" + scenario->name
+                        : options.fleet_dir;
+  fleet.workers = options.workers;
+  fleet.worker_threads = options.worker_threads;
+  fleet.deterministic = options.deterministic;
+  fleet.heartbeat_interval_ms = options.heartbeat_ms;
+  fleet.log = &std::cerr;
+  fleet.cache_dir = options.cache_dir;
+  fleet.cache_readonly = options.cache_readonly;
+
+  std::cout << "=== " << scenario->name << " — " << scenario->reference
+            << " (fleet: " << fleet.workers << " worker(s) x "
+            << fleet.worker_threads << " thread(s), dir " << fleet.directory
+            << ") ===\n";
+  const core::SweepJson document =
+      core::run_fleet(*scenario, options.scenario, fleet);
+
+  if (options.json) {
+    const std::string path =
+        options.out_dir + "/BENCH_" + scenario->name + ".json";
+    std::ofstream json(path);
+    if (!json) {
+      std::cerr << "cannot open " << path << " for writing\n";
+      return 1;
+    }
+    core::write_sweep_json(json, document);
+    std::cout << "(wrote " << path << ")\n";
+  }
+  return scenario->report(std::cout, document, options.scenario);
+}
+
+int fleet_worker_command(const CliOptions& options) {
+  const core::Scenario* scenario =
+      resolve_single_scenario(options, "fleet-worker");
+  if (scenario == nullptr) {
+    return 2;
+  }
+  if (options.fleet_dir.empty() || options.worker_name.empty()) {
+    std::cerr << "fleet-worker requires --fleet-dir DIR and --worker-name "
+                 "NAME (normally spawned by 'slpdas_bench fleet')\n";
+    return 2;
+  }
+  core::FleetWorkerOptions worker;
+  worker.directory = options.fleet_dir;
+  worker.worker = options.worker_name;
+  worker.threads = options.threads > 0 ? options.threads : 1;
+  worker.deterministic = options.deterministic;
+  worker.heartbeat_interval_ms = options.heartbeat_ms;
+  worker.log = &std::cerr;
+  std::optional<core::CellCache> cache;
+  if (!options.cache_dir.empty()) {
+    cache.emplace(options.cache_dir, options.cache_readonly);
+    worker.cache = &*cache;
+  }
+  const std::size_t computed =
+      core::run_fleet_worker(*scenario, options.scenario, worker);
+  std::cout << "fleet worker " << worker.worker << ": computed " << computed
+            << " cell(s)\n";
+  return 0;
+}
+
+int compare_command(const CliOptions& options) {
+  if (options.names.size() != 2) {
+    std::cerr << "usage: slpdas_bench compare A B [--fail-on-drift]\n";
+    return 2;
+  }
+  const core::SweepJson a = load_document(options.names[0]);
+  const core::SweepJson b = load_document(options.names[1]);
+  std::cout << "=== compare " << options.names[0] << " (" << a.name
+            << ") vs " << options.names[1] << " (" << b.name << ") ===\n";
+  const core::SweepComparison comparison = core::compare_sweeps(a, b);
+  core::render_comparison(std::cout, comparison);
+  if (options.fail_on_drift && !comparison.clean()) {
+    std::cout << "compare: FAIL (--fail-on-drift)\n";
+    return 1;
   }
   return 0;
 }
@@ -345,7 +535,8 @@ int main(int argc, char** argv) {
   if (argc > 1) {
     const std::string arg = argv[1];
     if (arg == "list" || arg == "run" || arg == "report" || arg == "merge" ||
-        arg == "cache") {
+        arg == "cache" || arg == "fleet" || arg == "fleet-worker" ||
+        arg == "compare") {
       command = arg;
       first = 2;
     }
@@ -427,6 +618,30 @@ int main(int argc, char** argv) {
         options.cache_dir = next_value("--cache");
       } else if (arg == "--cache-readonly") {
         options.cache_readonly = true;
+      } else if (arg == "--workers") {
+        options.workers = next_int("--workers");
+        if (options.workers < 1) {
+          std::cerr << "--workers must be >= 1\n";
+          return 2;
+        }
+      } else if (arg == "--worker-threads") {
+        options.worker_threads = next_int("--worker-threads");
+        if (options.worker_threads < 1) {
+          std::cerr << "--worker-threads must be >= 1\n";
+          return 2;
+        }
+      } else if (arg == "--fleet-dir") {
+        options.fleet_dir = next_value("--fleet-dir");
+      } else if (arg == "--worker-name") {
+        options.worker_name = next_value("--worker-name");
+      } else if (arg == "--heartbeat-ms") {
+        options.heartbeat_ms = next_int("--heartbeat-ms");
+        if (options.heartbeat_ms < 1) {
+          std::cerr << "--heartbeat-ms must be >= 1\n";
+          return 2;
+        }
+      } else if (arg == "--fail-on-drift") {
+        options.fail_on_drift = true;
       } else if (arg == "--deterministic") {
         options.deterministic = true;
       } else if (arg == "--shard") {
@@ -475,9 +690,18 @@ int main(int argc, char** argv) {
     if (command == "cache") {
       return cache_command(options.names);
     }
+    if (command == "compare") {
+      return compare_command(options);
+    }
     if (options.cache_readonly && options.cache_dir.empty()) {
       std::cerr << "--cache-readonly requires --cache DIR\n";
       return 2;
+    }
+    if (command == "fleet") {
+      return fleet_command(options);
+    }
+    if (command == "fleet-worker") {
+      return fleet_worker_command(options);
     }
     return run_scenarios(options);
   } catch (const std::exception& error) {

@@ -1,0 +1,75 @@
+// Sweep-document comparison: per-metric deltas between two
+// "slpdas.sweep.v2" documents, plus exact drift detection over the
+// deterministic fields — the first slice of the trend/regression layer.
+//
+// "Drift" means: two cells with the same label differ in ANY field that
+// is deterministic under --deterministic (results, config, seeds, run
+// counts). Wall clocks and the perf telemetry block are explicitly NOT
+// drift — they differ between any two real-clock runs. Drift detection
+// byte-compares the cells' canonical serialised records (with the
+// position/wall/perf fields neutralised), so a new result field can
+// never silently escape the check.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "slpdas/core/sweep.hpp"
+
+namespace slpdas::core {
+
+/// One metric row of a matched cell.
+struct MetricDelta {
+  std::string metric;  ///< e.g. "capture_ratio", "delivery_ratio.mean"
+  double a = 0.0;
+  double b = 0.0;
+  /// Whether the metric is reproducible under --deterministic (and so
+  /// participates in drift); false for events/sec.
+  bool deterministic = true;
+};
+
+struct CellComparison {
+  std::string label;
+  bool in_a = false;
+  bool in_b = false;
+  /// Headline metric rows; only for cells present in both documents.
+  std::vector<MetricDelta> metrics;
+  /// Any deterministic field differs (byte-exact check; see file comment).
+  bool drift = false;
+  /// Name of the first differing deterministic field, for the report.
+  std::string first_difference;
+};
+
+struct SweepComparison {
+  std::string name_a;
+  std::string name_b;
+  /// Sweep-identity mismatches worth flagging loudly: differing
+  /// base_seed, grid_hash or cells_total mean the documents are not two
+  /// runs of the same experiment.
+  bool identity_differs = false;
+  std::size_t matched = 0;
+  std::size_t drifted = 0;
+  std::size_t only_a = 0;
+  std::size_t only_b = 0;
+  /// A's cell order, then cells only in B (B's order).
+  std::vector<CellComparison> cells;
+
+  /// No drift and identical cell sets (identity differences are reported
+  /// but do not fail --fail-on-drift by themselves: comparing, say, two
+  /// seeds on purpose is legitimate — differing results then show up as
+  /// drift anyway).
+  [[nodiscard]] bool clean() const {
+    return drifted == 0 && only_a == 0 && only_b == 0;
+  }
+};
+
+/// Matches cells by label and computes the deltas + drift verdicts.
+[[nodiscard]] SweepComparison compare_sweeps(const SweepJson& a,
+                                             const SweepJson& b);
+
+/// Renders the per-cell delta table and the summary line.
+void render_comparison(std::ostream& out, const SweepComparison& comparison);
+
+}  // namespace slpdas::core

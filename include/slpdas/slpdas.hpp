@@ -47,5 +47,7 @@
 #include "slpdas/metrics/stats.hpp"
 #include "slpdas/metrics/table.hpp"
 
+#include "slpdas/core/compare.hpp"
 #include "slpdas/core/experiment.hpp"
+#include "slpdas/core/fleet.hpp"
 #include "slpdas/core/parameters.hpp"

@@ -1,0 +1,146 @@
+#include "process.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstddef>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace slpdas::core::fleet_detail {
+
+#ifdef _WIN32
+
+std::string current_executable() { return ""; }
+
+std::int64_t spawn_process(const std::vector<std::string>&,
+                           const std::string&) {
+  throw std::runtime_error("fleet: local worker launch requires POSIX");
+}
+
+std::optional<ProcessExit> poll_process(std::int64_t) {
+  throw std::runtime_error("fleet: process control requires POSIX");
+}
+
+std::optional<ProcessExit> wait_process(std::int64_t, int) {
+  throw std::runtime_error("fleet: process control requires POSIX");
+}
+
+void kill_process(std::int64_t) {}
+
+#else
+
+std::string current_executable() {
+  char buffer[4096];
+  const ::ssize_t length =
+      ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (length <= 0) {
+    return "";
+  }
+  return std::string(buffer, static_cast<std::size_t>(length));
+}
+
+std::int64_t spawn_process(const std::vector<std::string>& argv,
+                           const std::string& log_path) {
+  if (argv.empty()) {
+    throw std::invalid_argument("spawn_process: empty argv");
+  }
+  const int log_fd = ::open(log_path.c_str(),
+                            O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (log_fd < 0) {
+    throw std::runtime_error("fleet: cannot open worker log " + log_path +
+                             ": " + std::generic_category().message(errno));
+  }
+  // argv must outlive the exec in the child; build the char* view before
+  // forking so the child does nothing but syscalls (the parent may hold
+  // arbitrary locks at fork time — only async-signal-safe work is sound
+  // between fork and exec).
+  std::vector<char*> args;
+  args.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    args.push_back(const_cast<char*>(arg.c_str()));
+  }
+  args.push_back(nullptr);
+
+  const ::pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(log_fd);
+    throw std::runtime_error("fleet: fork failed: " +
+                             std::generic_category().message(errno));
+  }
+  if (pid == 0) {
+    // Child: wire the log file to stdout+stderr, then become the worker.
+    ::dup2(log_fd, STDOUT_FILENO);
+    ::dup2(log_fd, STDERR_FILENO);
+    if (log_fd > STDERR_FILENO) {
+      ::close(log_fd);
+    }
+    ::execv(args[0], args.data());
+    // exec failed; the parent sees exit 127 ("command not found" idiom).
+    const char message[] = "fleet worker: exec failed\n";
+    (void)!::write(STDERR_FILENO, message, sizeof(message) - 1);
+    ::_exit(127);
+  }
+  ::close(log_fd);
+  return static_cast<std::int64_t>(pid);
+}
+
+std::optional<ProcessExit> poll_process(std::int64_t pid) {
+  int status = 0;
+  const ::pid_t reaped =
+      ::waitpid(static_cast<::pid_t>(pid), &status, WNOHANG);
+  if (reaped == 0) {
+    return std::nullopt;
+  }
+  ProcessExit exit;
+  if (reaped < 0) {
+    exit.clean = false;
+    exit.description = "waitpid failed: " +
+                       std::generic_category().message(errno);
+    return exit;
+  }
+  if (WIFEXITED(status)) {
+    const int code = WEXITSTATUS(status);
+    exit.clean = code == 0;
+    exit.description = "exit code " + std::to_string(code);
+  } else if (WIFSIGNALED(status)) {
+    exit.clean = false;
+    exit.description = "signal " + std::to_string(WTERMSIG(status));
+  } else {
+    exit.clean = false;
+    exit.description = "unknown wait status " + std::to_string(status);
+  }
+  return exit;
+}
+
+std::optional<ProcessExit> wait_process(std::int64_t pid, int timeout_ms) {
+  int waited_ms = 0;
+  for (;;) {
+    if (std::optional<ProcessExit> exit = poll_process(pid)) {
+      return exit;
+    }
+    if (waited_ms >= timeout_ms) {
+      return std::nullopt;
+    }
+    constexpr int kStepMs = 10;
+    std::this_thread::sleep_for(std::chrono::milliseconds(kStepMs));
+    waited_ms += kStepMs;
+  }
+}
+
+void kill_process(std::int64_t pid) {
+  if (pid > 0) {
+    (void)::kill(static_cast<::pid_t>(pid), SIGKILL);
+  }
+}
+
+#endif  // _WIN32
+
+}  // namespace slpdas::core::fleet_detail

@@ -1,0 +1,42 @@
+// Internal process-control helpers for the fleet coordinator's local
+// launcher (fork/exec, non-blocking reap, kill). POSIX-only — on other
+// platforms every function throws, which run_fleet surfaces as "local
+// fleet launch requires POSIX". Not installed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace slpdas::core::fleet_detail {
+
+/// Absolute path of the running executable (/proc/self/exe); "" when it
+/// cannot be resolved (caller must then be given an explicit program).
+[[nodiscard]] std::string current_executable();
+
+/// fork + execv of argv[0] with stdout and stderr appended to log_path.
+/// Returns the child pid; throws std::runtime_error on failure. An exec
+/// failure inside the child exits 127 (visible to poll_process).
+[[nodiscard]] std::int64_t spawn_process(const std::vector<std::string>& argv,
+                                         const std::string& log_path);
+
+struct ProcessExit {
+  bool clean = false;       ///< exited with status 0
+  std::string description;  ///< "exit code 3", "signal 9 (SIGKILL)", ...
+};
+
+/// Non-blocking reap: nullopt while the child is still running, the exit
+/// description once it terminated. Each pid is reported exactly once.
+[[nodiscard]] std::optional<ProcessExit> poll_process(std::int64_t pid);
+
+/// Blocking reap with a timeout; nullopt when the child is still running
+/// after timeout_ms.
+[[nodiscard]] std::optional<ProcessExit> wait_process(std::int64_t pid,
+                                                      int timeout_ms);
+
+/// SIGKILL; best-effort (an already-dead child is not an error). The
+/// caller still reaps via poll_process/wait_process.
+void kill_process(std::int64_t pid);
+
+}  // namespace slpdas::core::fleet_detail

@@ -1,0 +1,152 @@
+// Sweep-document comparison: matched-cell metric deltas, the byte-exact
+// drift verdict over the deterministic fields, the explicit
+// non-drift-ness of wall clocks and perf telemetry, and the
+// --fail-on-drift notion of a clean comparison.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "slpdas/core/compare.hpp"
+#include "slpdas/core/sweep.hpp"
+#include "test_util.hpp"
+
+namespace slpdas::core {
+namespace {
+
+/// Two cells along the protocol axis, so compared labels are the
+/// protocol names — the shape of a real A/B comparison.
+std::vector<SweepCell> two_cells() {
+  ExperimentConfig base;
+  base.topology = wsn::TopologySpec::grid(5);
+  base.parameters = test::fast_parameters(24);
+  base.radio = RadioKind::kCasinoLab;
+  base.runs = 2;
+  base.check_schedules = false;
+  SweepGrid grid(base);
+  grid.axis("protocol",
+            {{"protectionless-das",
+              [](ExperimentConfig& config) {
+                config.protocol = ProtocolKind::kProtectionlessDas;
+              }},
+             {"slp-das",
+              [](ExperimentConfig& config) {
+                config.protocol = ProtocolKind::kSlpDas;
+              }}});
+  return grid.expand();
+}
+
+SweepJson document(bool deterministic = true) {
+  SweepOptions options;
+  options.threads = 2;
+  options.base_seed = 7;
+  options.deterministic_timing = deterministic;
+  return to_sweep_json(run_sweep(two_cells(), options), "compare_test");
+}
+
+std::string rendered(const SweepComparison& comparison) {
+  std::ostringstream out;
+  render_comparison(out, comparison);
+  return out.str();
+}
+
+TEST(CompareTest, IdenticalDocumentsAreClean) {
+  const SweepJson a = document();
+  const SweepComparison comparison = compare_sweeps(a, a);
+  EXPECT_FALSE(comparison.identity_differs);
+  EXPECT_EQ(comparison.matched, 2u);
+  EXPECT_EQ(comparison.drifted, 0u);
+  EXPECT_EQ(comparison.only_a, 0u);
+  EXPECT_EQ(comparison.only_b, 0u);
+  EXPECT_TRUE(comparison.clean());
+  const std::string text = rendered(comparison);
+  EXPECT_EQ(text.find("DRIFT"), std::string::npos) << text;
+  EXPECT_NE(text.find("2 matched cell(s), 0 drifted"), std::string::npos)
+      << text;
+  // Both headline metrics appear for every matched cell.
+  EXPECT_NE(text.find("capture_ratio"), std::string::npos);
+  EXPECT_NE(text.find("delivery_ratio.mean"), std::string::npos);
+}
+
+TEST(CompareTest, ATamperedResultFieldIsDriftAndNamesTheField) {
+  const SweepJson a = document();
+  SweepJson b = a;
+  b.cells[0].capture_successes += 1;
+  const SweepComparison comparison = compare_sweeps(a, b);
+  EXPECT_EQ(comparison.drifted, 1u);
+  EXPECT_FALSE(comparison.clean());
+  ASSERT_FALSE(comparison.cells.empty());
+  EXPECT_TRUE(comparison.cells[0].drift);
+  EXPECT_EQ(comparison.cells[0].first_difference, "capture_successes");
+  EXPECT_NE(rendered(comparison).find("DRIFT"), std::string::npos);
+}
+
+TEST(CompareTest, DriftCatchesFieldsTheMetricRowsDoNotShow) {
+  // The drift verdict byte-compares the whole neutralised record, so a
+  // field with no table row of its own (here a stats block) still trips.
+  const SweepJson a = document();
+  SweepJson b = a;
+  b.cells[1].attacker_moves.mean += 0.5;
+  const SweepComparison comparison = compare_sweeps(a, b);
+  EXPECT_EQ(comparison.drifted, 1u);
+  EXPECT_EQ(comparison.cells[1].first_difference, "attacker_moves");
+}
+
+TEST(CompareTest, WallClockAndPerfTelemetryAreNotDrift) {
+  // Two real-clock runs of the same sweep differ in walls and perf by
+  // construction; compare must never call that drift.
+  const SweepJson a = document(/*deterministic=*/false);
+  SweepJson b = a;
+  b.wall_seconds *= 2.0;
+  for (SweepJsonCell& cell : b.cells) {
+    cell.wall_seconds += 1.0;
+    cell.perf_events += 1234;
+    cell.perf_events_per_sec *= 3.0;
+  }
+  const SweepComparison comparison = compare_sweeps(a, b);
+  EXPECT_EQ(comparison.drifted, 0u);
+  EXPECT_TRUE(comparison.clean());
+  // The non-deterministic events/sec row is shown (both sides carry
+  // perf) but never marked DRIFT.
+  const std::string text = rendered(comparison);
+  EXPECT_NE(text.find("events/sec"), std::string::npos) << text;
+  EXPECT_EQ(text.find("DRIFT"), std::string::npos) << text;
+}
+
+TEST(CompareTest, UnmatchedCellsAreReportedAndFailCleanliness) {
+  const SweepJson a = document();
+  SweepJson b = a;
+  b.cells.pop_back();
+  const SweepComparison comparison = compare_sweeps(a, b);
+  EXPECT_EQ(comparison.matched, 1u);
+  EXPECT_EQ(comparison.only_a, 1u);
+  EXPECT_EQ(comparison.only_b, 0u);
+  EXPECT_FALSE(comparison.clean());
+  EXPECT_NE(rendered(comparison).find("only in A: "), std::string::npos);
+
+  const SweepComparison reversed = compare_sweeps(b, a);
+  EXPECT_EQ(reversed.only_b, 1u);
+  EXPECT_FALSE(reversed.clean());
+  EXPECT_NE(rendered(reversed).find("only in B: "), std::string::npos);
+}
+
+TEST(CompareTest, IdentityMismatchIsFlaggedButNotDriftByItself) {
+  // Comparing two seeds ON PURPOSE is legitimate: the identity note
+  // fires, but cleanliness rides on the results alone (differing results
+  // would show up as drift anyway).
+  const SweepJson a = document();
+  SweepJson b = a;
+  b.base_seed ^= 1;
+  b.name = "other_run";
+  const SweepComparison comparison = compare_sweeps(a, b);
+  EXPECT_TRUE(comparison.identity_differs);
+  EXPECT_EQ(comparison.drifted, 0u);
+  EXPECT_TRUE(comparison.clean());
+  EXPECT_NE(rendered(comparison).find("note: the documents describe "
+                                      "different sweeps"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace slpdas::core

@@ -1,0 +1,530 @@
+// The distributed sweep fabric ("slpdas.shardmap.v1"): shardmap record
+// round-trips, the exclusive-create claim protocol, the worker loop
+// in-process and across forked processes, and the coordinator's failure
+// handling — a worker SIGKILLed mid-cell must have its claim released,
+// its cell reassigned to a replacement, and the folded document must
+// still be bit-identical to an unsharded single-process run.
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include <gtest/gtest.h>
+
+#include "slpdas/core/fleet.hpp"
+#include "slpdas/core/scenario.hpp"
+#include "slpdas/core/sweep.hpp"
+#include "test_util.hpp"
+
+namespace slpdas::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Five cheap cells — the cell_stream_test fixture shape, so the fleet's
+/// byte-identity claims are checked against the same grid the stream and
+/// shard tests use.
+std::vector<SweepCell> five_cells() {
+  ExperimentConfig base;
+  base.topology = wsn::TopologySpec::grid(5);
+  base.parameters = test::fast_parameters(24);
+  base.radio = RadioKind::kCasinoLab;
+  base.runs = 2;
+  base.check_schedules = false;
+  SweepGrid grid(base);
+  std::vector<SweepGrid::AxisValue> values;
+  for (int i = 0; i < 5; ++i) {
+    values.push_back({std::to_string(i), nullptr});
+  }
+  grid.axis("cell", std::move(values));
+  return grid.expand();
+}
+
+Scenario fleet_scenario() {
+  Scenario scenario;
+  scenario.name = "fleet_test";
+  scenario.reference = "test fixture";
+  scenario.summary = "five cheap cells";
+  scenario.default_runs = 2;
+  scenario.default_seed = 77;
+  scenario.make_cells = [](const ScenarioOptions&) { return five_cells(); };
+  scenario.report = [](std::ostream&, const SweepJson&,
+                       const ScenarioOptions&) { return 0; };
+  return scenario;
+}
+
+std::string to_text(const SweepJson& document) {
+  std::ostringstream out;
+  write_sweep_json(out, document);
+  return out.str();
+}
+
+/// The unsharded single-process document every fleet variant must
+/// reproduce byte for byte (threads = the fleet's workers x
+/// worker_threads, which is 2 in every test here).
+std::string reference_text() {
+  SweepOptions options;
+  options.threads = 2;
+  options.base_seed = 77;
+  options.deterministic_timing = true;
+  return to_text(to_sweep_json(run_sweep(five_cells(), options), "fleet_test"));
+}
+
+/// The manifest run_fleet would write for this fixture.
+ShardMapManifest fixture_manifest(int workers, int worker_threads) {
+  const auto cells = five_cells();
+  ShardMapManifest manifest;
+  manifest.name = "fleet_test";
+  manifest.base_seed = 77;
+  manifest.grid_hash = hash_sweep_grid(cells);
+  manifest.cells_total = cells.size();
+  manifest.deterministic = true;
+  manifest.workers = workers;
+  manifest.worker_threads = worker_threads;
+  manifest.threads_total = workers * worker_threads;
+  return manifest;
+}
+
+FleetWorkerOptions worker_options(const std::string& dir,
+                                  const std::string& worker, int threads) {
+  FleetWorkerOptions options;
+  options.directory = dir;
+  options.worker = worker;
+  options.threads = threads;
+  options.deterministic = true;
+  options.heartbeat_interval_ms = 50;
+  options.idle_wait_ms = 5;
+  return options;
+}
+
+class FleetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = ::testing::TempDir() + "slpdas_fleet_" + info->name();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Shardmap records
+// ---------------------------------------------------------------------------
+
+TEST(ShardMapRecordTest, AllRecordKindsRoundTrip) {
+  ShardMapManifest manifest;
+  manifest.name = "fleet \"quoted\" name";
+  manifest.base_seed = 77;
+  manifest.grid_hash = 0xdeadbeefULL;
+  manifest.cells_total = 5;
+  manifest.deterministic = true;
+  manifest.workers = 4;
+  manifest.worker_threads = 2;
+  manifest.threads_total = 8;
+  const ShardMapManifest manifest2 =
+      parse_shardmap_manifest(format_shardmap_manifest(manifest));
+  EXPECT_EQ(manifest2.name, manifest.name);
+  EXPECT_EQ(manifest2.base_seed, manifest.base_seed);
+  EXPECT_EQ(manifest2.grid_hash, manifest.grid_hash);
+  EXPECT_EQ(manifest2.cells_total, manifest.cells_total);
+  EXPECT_EQ(manifest2.deterministic, manifest.deterministic);
+  EXPECT_EQ(manifest2.workers, manifest.workers);
+  EXPECT_EQ(manifest2.worker_threads, manifest.worker_threads);
+  EXPECT_EQ(manifest2.threads_total, manifest.threads_total);
+
+  const ShardMapClaim claim2 =
+      parse_shardmap_claim(format_shardmap_claim({3, "w0", 1234}));
+  EXPECT_EQ(claim2.cell, 3u);
+  EXPECT_EQ(claim2.worker, "w0");
+  EXPECT_EQ(claim2.pid, 1234);
+
+  const ShardMapDone done2 =
+      parse_shardmap_done(format_shardmap_done({4, "w1"}));
+  EXPECT_EQ(done2.cell, 4u);
+  EXPECT_EQ(done2.worker, "w1");
+
+  const ShardMapHeartbeat beat2 =
+      parse_shardmap_heartbeat(format_shardmap_heartbeat({"w2", 99, 41}));
+  EXPECT_EQ(beat2.worker, "w2");
+  EXPECT_EQ(beat2.pid, 99);
+  EXPECT_EQ(beat2.seq, 41u);
+
+  ShardMapError cell_error;
+  cell_error.cell = 2;
+  cell_error.worker = "w0";
+  cell_error.message = "runs threw";
+  const ShardMapError cell_error2 =
+      parse_shardmap_error(format_shardmap_error(cell_error));
+  ASSERT_TRUE(cell_error2.cell.has_value());
+  EXPECT_EQ(*cell_error2.cell, 2u);
+  EXPECT_EQ(cell_error2.message, "runs threw");
+
+  ShardMapError worker_error;
+  worker_error.worker = "w1";
+  worker_error.message = "bad manifest";
+  const ShardMapError worker_error2 =
+      parse_shardmap_error(format_shardmap_error(worker_error));
+  EXPECT_FALSE(worker_error2.cell.has_value());
+  EXPECT_EQ(worker_error2.worker, "w1");
+}
+
+TEST(ShardMapRecordTest, ParsersRejectWrongSchemaOrType) {
+  const std::string done = format_shardmap_done({1, "w0"});
+  // A done record is not a claim record.
+  EXPECT_THROW((void)parse_shardmap_claim(done), std::runtime_error);
+  // An alien schema tag.
+  EXPECT_THROW((void)parse_shardmap_done(
+                   "{\"schema\": \"slpdas.shardmap.v9\", \"type\": \"done\", "
+                   "\"cell\": 1, \"worker\": \"w0\"}"),
+               std::runtime_error);
+  // Not JSON at all.
+  EXPECT_THROW((void)parse_shardmap_manifest("not json"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Claim directory
+// ---------------------------------------------------------------------------
+
+TEST_F(FleetTest, ClaimIsExclusiveUntilReleased) {
+  const ClaimDir claims(dir_);
+  claims.create();
+  ShardMapClaim claim;
+  claim.cell = 3;
+  claim.worker = "w0";
+  claim.pid = 42;
+  EXPECT_TRUE(claims.try_claim(claim));
+  // The second claimant loses, whoever it says it is.
+  claim.worker = "w1";
+  EXPECT_FALSE(claims.try_claim(claim));
+  // Release (what the coordinator does once w0 is known dead) reopens it.
+  claims.release_claim(3);
+  EXPECT_TRUE(claims.try_claim(claim));
+  EXPECT_FALSE(claims.is_done(3));
+  claims.mark_done({3, "w1"});
+  EXPECT_TRUE(claims.is_done(3));
+}
+
+TEST_F(FleetTest, ScanReportsEveryMarkerKind) {
+  const ClaimDir claims(dir_);
+  claims.create();
+  ASSERT_TRUE(claims.try_claim({0, "w0", 10}));
+  ASSERT_TRUE(claims.try_claim({1, "w1", 11}));
+  claims.mark_done({1, "w1"});
+  claims.write_heartbeat({"w0", 10, 7});
+  ShardMapError error;
+  error.cell = 4;
+  error.worker = "w0";
+  error.message = "boom";
+  claims.mark_error(error);
+  // A claim created by an owner that died before the advisory write: the
+  // file exists (the claim holds) but holds no parseable record.
+  {
+    std::ofstream torn(claims.claim_path(2), std::ios::binary);
+    torn << "{\"schema\": \"slpdas.shard";
+  }
+
+  const ShardMapScan scan = claims.scan();
+  ASSERT_EQ(scan.claims.size(), 2u);
+  EXPECT_EQ(scan.claims.at(0).worker, "w0");
+  EXPECT_EQ(scan.claims.at(1).worker, "w1");
+  EXPECT_EQ(scan.done, std::set<std::uint64_t>{1});
+  EXPECT_EQ(scan.unreadable_claims, std::set<std::uint64_t>{2});
+  ASSERT_EQ(scan.heartbeats.count("w0"), 1u);
+  EXPECT_EQ(scan.heartbeats.at("w0").seq, 7u);
+  ASSERT_EQ(scan.errors.size(), 1u);
+  EXPECT_EQ(scan.errors[0].message, "boom");
+}
+
+TEST_F(FleetTest, ManifestFileRoundTripsAndMarksAFleetDirectory) {
+  EXPECT_FALSE(is_fleet_directory(dir_));
+  EXPECT_EQ(read_shardmap_manifest(dir_), std::nullopt);
+  const ShardMapManifest manifest = fixture_manifest(4, 2);
+  write_shardmap_manifest(dir_, manifest);
+  EXPECT_TRUE(is_fleet_directory(dir_));
+  const std::optional<ShardMapManifest> read = read_shardmap_manifest(dir_);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->name, manifest.name);
+  EXPECT_EQ(read->grid_hash, manifest.grid_hash);
+  EXPECT_EQ(read->threads_total, manifest.threads_total);
+}
+
+// ---------------------------------------------------------------------------
+// Worker loop
+// ---------------------------------------------------------------------------
+
+TEST_F(FleetTest, LoneWorkerComputesEveryCellByteIdentically) {
+  write_shardmap_manifest(dir_, fixture_manifest(1, 2));
+  const Scenario scenario = fleet_scenario();
+  const std::size_t computed = run_fleet_worker(
+      scenario, ScenarioOptions{}, worker_options(dir_, "w0", 2));
+  EXPECT_EQ(computed, 5u);
+  EXPECT_EQ(to_text(fold_fleet_directory(dir_)), reference_text());
+  // Every cell carries a done marker owned by the one worker.
+  const ClaimDir claims(dir_);
+  const ShardMapScan scan = claims.scan();
+  EXPECT_EQ(scan.done.size(), 5u);
+  EXPECT_EQ(scan.claims.size(), 5u);
+}
+
+TEST_F(FleetTest, WorkerRefusesAManifestForADifferentSweep) {
+  ShardMapManifest manifest = fixture_manifest(1, 2);
+  manifest.grid_hash ^= 1;  // a different grid expansion
+  write_shardmap_manifest(dir_, manifest);
+  const Scenario scenario = fleet_scenario();
+  EXPECT_THROW((void)run_fleet_worker(scenario, ScenarioOptions{},
+                                      worker_options(dir_, "w0", 2)),
+               std::runtime_error);
+  // The failure left a worker-fatal marker so a coordinator would abort
+  // instead of respawning into the same mismatch.
+  const ShardMapScan scan = ClaimDir(dir_).scan();
+  ASSERT_EQ(scan.errors.size(), 1u);
+  EXPECT_EQ(scan.errors[0].worker, "w0");
+  EXPECT_FALSE(scan.errors[0].cell.has_value());
+}
+
+#ifndef _WIN32
+
+/// Forks a child that runs `body` and _exits with its return value —
+/// keeping gtest machinery (and its exit handlers) out of the child.
+template <typename Body>
+pid_t fork_child(Body body) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    int code = 2;
+    try {
+      code = body();
+    } catch (const std::exception&) {
+      code = 1;
+    }
+    ::_exit(code);
+  }
+  return pid;
+}
+
+int wait_exit(pid_t pid) {
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST_F(FleetTest, TwoForkedWorkersPartitionTheGridByteIdentically) {
+  write_shardmap_manifest(dir_, fixture_manifest(2, 1));
+  const Scenario scenario = fleet_scenario();
+  const std::string dir = dir_;
+  std::vector<pid_t> children;
+  for (const char* name : {"w0", "w1"}) {
+    children.push_back(fork_child([&scenario, &dir, name] {
+      (void)run_fleet_worker(scenario, ScenarioOptions{},
+                             worker_options(dir, name, 1));
+      return 0;
+    }));
+  }
+  for (const pid_t pid : children) {
+    EXPECT_EQ(wait_exit(pid), 0);
+  }
+  EXPECT_EQ(to_text(fold_fleet_directory(dir_)), reference_text());
+  // The claim protocol partitioned the grid: every cell ran exactly once,
+  // and both incarnations produced a stream file.
+  EXPECT_TRUE(fs::is_regular_file(dir_ + "/streams/w0.jsonl"));
+  EXPECT_TRUE(fs::is_regular_file(dir_ + "/streams/w1.jsonl"));
+  const ShardMapScan scan = ClaimDir(dir_).scan();
+  EXPECT_EQ(scan.done.size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+FleetOptions coordinator_options(const std::string& dir, std::ostream* log) {
+  FleetOptions options;
+  options.directory = dir;
+  options.workers = 1;
+  options.worker_threads = 2;
+  options.deterministic = true;
+  options.heartbeat_interval_ms = 25;
+  options.claim_expiry_ms = 2'000;
+  options.poll_interval_ms = 5;
+  options.log = log;
+  return options;
+}
+
+/// A spawn hook that forks the REAL worker loop in-process — the
+/// coordinator cannot tell the difference from an exec'd binary.
+std::int64_t spawn_real_worker(const Scenario& scenario,
+                               const FleetSpawnRequest& request,
+                               const std::string& dir) {
+  return fork_child([&scenario, &request, &dir] {
+    (void)run_fleet_worker(scenario, ScenarioOptions{},
+                           worker_options(dir, request.worker, 2));
+    return 0;
+  });
+}
+
+TEST_F(FleetTest, SigkilledWorkerIsReassignedAndTheFoldStaysByteIdentical) {
+  const Scenario scenario = fleet_scenario();
+  std::ostringstream log;
+  FleetOptions options = coordinator_options(dir_, &log);
+  const std::string dir = dir_;
+  int spawns = 0;
+  options.spawn = [&](const FleetSpawnRequest& request) -> std::int64_t {
+    if (++spawns > 1) {
+      return spawn_real_worker(scenario, request, dir);
+    }
+    // First incarnation is the victim: it claims cell 0, writes a valid
+    // stream header plus a TORN record tail (exactly what a kill lands
+    // mid-write), then SIGKILLs itself without ever marking the cell
+    // done. The claim must be released and the cell recomputed by the
+    // replacement, and the torn tail must not reach the fold.
+    return fork_child([&request, &dir] {
+      const std::optional<ShardMapManifest> manifest =
+          read_shardmap_manifest(dir);
+      if (!manifest) {
+        return 3;
+      }
+      const ClaimDir claims(dir);
+      if (!claims.try_claim({0, request.worker, ::getpid()})) {
+        return 4;
+      }
+      std::ofstream stream(dir + "/streams/" + request.worker + ".jsonl",
+                           std::ios::binary);
+      CellStreamHeader header;
+      header.name = manifest->name;
+      header.base_seed = manifest->base_seed;
+      header.grid_hash = manifest->grid_hash;
+      header.shard_index = 0;
+      header.shard_count = 1;
+      header.cells_total = manifest->cells_total;
+      header.deterministic = manifest->deterministic;
+      header.threads = 2;
+      write_cell_stream_header(stream, header);
+      stream << "{\"index\": 0, \"label\": \"cell=0\", \"coordi";
+      stream.flush();
+      (void)::raise(SIGKILL);
+      return 5;  // unreachable
+    });
+  };
+
+  const SweepJson document = run_fleet(scenario, ScenarioOptions{}, options);
+  EXPECT_EQ(to_text(document), reference_text());
+  EXPECT_EQ(spawns, 2);
+  const std::string events = log.str();
+  EXPECT_NE(events.find("worker w0 died"), std::string::npos) << events;
+  EXPECT_NE(events.find("released 1 claim(s)"), std::string::npos) << events;
+  EXPECT_NE(events.find("respawned replacement for w0"), std::string::npos)
+      << events;
+  // Both incarnations left streams; the folded bytes above prove the
+  // victim's torn tail was dropped and cell 0 recomputed bit-identically.
+  EXPECT_TRUE(fs::is_regular_file(dir_ + "/streams/w0.jsonl"));
+  EXPECT_TRUE(fs::is_regular_file(dir_ + "/streams/w1.jsonl"));
+}
+
+TEST_F(FleetTest, AnErrorMarkerAbortsTheFleetAndKillsTheWorkers) {
+  const Scenario scenario = fleet_scenario();
+  // A pre-existing cell error: some worker already proved the cell fails
+  // deterministically, so the coordinator must abort, not respawn.
+  {
+    const ClaimDir claims(dir_);
+    claims.create();
+    ShardMapError error;
+    error.cell = 2;
+    error.worker = "w9";
+    error.message = "cell runs threw";
+    claims.mark_error(error);
+  }
+  std::ostringstream log;
+  FleetOptions options = coordinator_options(dir_, &log);
+  options.spawn = [](const FleetSpawnRequest&) -> std::int64_t {
+    // A worker that never makes progress; the coordinator must kill it.
+    return fork_child([] {
+      for (;;) {
+        ::pause();
+      }
+      return 0;
+    });
+  };
+  try {
+    (void)run_fleet(scenario, ScenarioOptions{}, options);
+    FAIL() << "run_fleet accepted a fleet with an error marker";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("aborted"), std::string::npos)
+        << error.what();
+    EXPECT_NE(std::string(error.what()).find("cell 2"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(FleetTest, ResumingACompletedFleetFoldsWithoutSpawningAnyWorker) {
+  // Complete the sweep through the worker loop alone...
+  write_shardmap_manifest(dir_, fixture_manifest(1, 2));
+  const Scenario scenario = fleet_scenario();
+  (void)run_fleet_worker(scenario, ScenarioOptions{},
+                         worker_options(dir_, "w0", 2));
+  // ...then a coordinator over the same directory has nothing to do.
+  std::ostringstream log;
+  FleetOptions options = coordinator_options(dir_, &log);
+  int spawns = 0;
+  options.spawn = [&spawns](const FleetSpawnRequest&) -> std::int64_t {
+    ++spawns;
+    return -1;
+  };
+  const SweepJson document = run_fleet(scenario, ScenarioOptions{}, options);
+  EXPECT_EQ(spawns, 0);
+  EXPECT_EQ(to_text(document), reference_text());
+  EXPECT_NE(log.str().find("resuming existing fleet directory"),
+            std::string::npos);
+}
+
+TEST_F(FleetTest, RefusesToResumeADirectoryHoldingADifferentSweep) {
+  ShardMapManifest manifest = fixture_manifest(1, 2);
+  manifest.base_seed = 78;  // same scenario, different seed
+  write_shardmap_manifest(dir_, manifest);
+  const Scenario scenario = fleet_scenario();
+  FleetOptions options = coordinator_options(dir_, nullptr);
+  int spawns = 0;
+  options.spawn = [&spawns](const FleetSpawnRequest&) -> std::int64_t {
+    ++spawns;
+    return -1;
+  };
+  EXPECT_THROW((void)run_fleet(scenario, ScenarioOptions{}, options),
+               std::runtime_error);
+  EXPECT_EQ(spawns, 0);
+}
+
+#endif  // !_WIN32
+
+TEST_F(FleetTest, RunFleetValidatesItsOptions) {
+  const Scenario scenario = fleet_scenario();
+  FleetOptions options;
+  options.directory = "";
+  EXPECT_THROW((void)run_fleet(scenario, ScenarioOptions{}, options),
+               std::invalid_argument);
+  options.directory = dir_;
+  options.workers = 0;
+  EXPECT_THROW((void)run_fleet(scenario, ScenarioOptions{}, options),
+               std::invalid_argument);
+  options.workers = 1;
+  options.worker_threads = 0;
+  EXPECT_THROW((void)run_fleet(scenario, ScenarioOptions{}, options),
+               std::invalid_argument);
+
+  FleetWorkerOptions worker;
+  worker.directory = dir_;
+  worker.worker = "not a valid name";
+  EXPECT_THROW(
+      (void)run_fleet_worker(scenario, ScenarioOptions{}, worker),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace slpdas::core

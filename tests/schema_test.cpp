@@ -10,12 +10,14 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "schema_validator.hpp"
 #include "slpdas/core/cell_cache.hpp"
+#include "slpdas/core/fleet.hpp"
 #include "slpdas/core/scenario.hpp"
 #include "slpdas/core/sweep.hpp"
 #include "test_util.hpp"
@@ -30,6 +32,8 @@ constexpr const char* kSweepSchema = "slpdas.sweep.v2.schema.json";
 constexpr const char* kCellSchema = "slpdas.cell.v1.schema.json";
 constexpr const char* kCacheSchema = "slpdas.cachecell.v1.schema.json";
 constexpr const char* kMicroSchema = "benchmark.micro.v1.schema.json";
+constexpr const char* kShardMapSchemaFile = "slpdas.shardmap.v1.schema.json";
+constexpr const char* kFleetBenchSchema = "slpdas.fleetbench.v1.schema.json";
 
 ExperimentConfig small_base(int runs = 2) {
   ExperimentConfig config;
@@ -88,7 +92,8 @@ testing::AssertionResult no_errors(const std::vector<std::string>& errors) {
 TEST(SchemaFilesTest, AllSchemaFilesParse) {
   SchemaSet set = schemas();
   for (const char* name :
-       {kSweepSchema, kCellSchema, kCacheSchema, kMicroSchema}) {
+       {kSweepSchema, kCellSchema, kCacheSchema, kMicroSchema,
+        kShardMapSchemaFile, kFleetBenchSchema}) {
     EXPECT_NO_THROW(set.load(name)) << name;
   }
 }
@@ -191,10 +196,56 @@ TEST(SchemaCacheTest, StoredEntryLinesValidate) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(SchemaShardMapTest, EveryRecordKindValidatesAgainstItsDefinition) {
+  // The exact bytes the fleet writers produce, one fragment per marker
+  // kind — the same fragments CI applies to a real fleet directory via
+  // validate.py.
+  ShardMapManifest manifest;
+  manifest.name = "schema_smoke";
+  manifest.base_seed = 7;
+  manifest.grid_hash = 12345;
+  manifest.cells_total = 5;
+  manifest.deterministic = true;
+  manifest.workers = 4;
+  manifest.worker_threads = 2;
+  manifest.threads_total = 8;
+  ShardMapError cell_error;
+  cell_error.cell = 3;
+  cell_error.worker = "w1";
+  cell_error.message = "runs threw";
+  ShardMapError worker_error;
+  worker_error.worker = "w2";
+  worker_error.message = "bad manifest";
+  const std::pair<const char*, std::string> records[] = {
+      {"manifest", format_shardmap_manifest(manifest)},
+      {"claim", format_shardmap_claim({2, "w0", 4321})},
+      {"done", format_shardmap_done({2, "w0"})},
+      {"heartbeat", format_shardmap_heartbeat({"w0", 4321, 17})},
+      {"error", format_shardmap_error(cell_error)},
+      {"error", format_shardmap_error(worker_error)},
+  };
+  SchemaSet set = schemas();
+  for (const auto& [definition, record] : records) {
+    EXPECT_TRUE(no_errors(set.validate(
+        parse_text(record), std::string(kShardMapSchemaFile) +
+                                "#/definitions/" + definition)))
+        << definition << ": " << record;
+  }
+  // The schema root IS the manifest definition (shardmap.json's content).
+  EXPECT_TRUE(no_errors(set.validate(
+      parse_text(format_shardmap_manifest(manifest)), kShardMapSchemaFile)));
+  // And it still rejects shape drift: a claim is not a done marker.
+  EXPECT_FALSE(set.validate(parse_text(format_shardmap_claim({2, "w0", 1})),
+                            std::string(kShardMapSchemaFile) +
+                                "#/definitions/done")
+                   .empty());
+}
+
 TEST(SchemaCommittedTest, BenchResultsBaselinesValidate) {
   SchemaSet set = schemas();
   std::size_t sweeps = 0;
   std::size_t micros = 0;
+  std::size_t fleets = 0;
   for (const auto& file :
        std::filesystem::directory_iterator(SLPDAS_BENCH_RESULTS_DIR)) {
     const std::string name = file.path().filename().string();
@@ -206,15 +257,17 @@ TEST(SchemaCommittedTest, BenchResultsBaselinesValidate) {
     text << in.rdbuf();
     const Value document = parse_text(text.str());
     const bool micro = name.rfind("BENCH_micro", 0) == 0;
-    EXPECT_TRUE(no_errors(
-        set.validate(document, micro ? kMicroSchema : kSweepSchema)))
-        << name;
-    (micro ? micros : sweeps) += 1;
+    const bool fleet = name.rfind("BENCH_fleet", 0) == 0;
+    const char* schema =
+        micro ? kMicroSchema : (fleet ? kFleetBenchSchema : kSweepSchema);
+    EXPECT_TRUE(no_errors(set.validate(document, schema))) << name;
+    (micro ? micros : (fleet ? fleets : sweeps)) += 1;
   }
   // The committed baseline set: keep these counts in step with
   // bench_results/ so a new artifact cannot dodge validation.
   EXPECT_GE(sweeps, 2u);
   EXPECT_GE(micros, 1u);
+  EXPECT_GE(fleets, 1u);
 }
 
 TEST(SchemaViolationTest, ValidatorRejectsShapeDrift) {

@@ -11,7 +11,10 @@ what CI actually runs against generated artifacts.
 
 Usage:
   validate.py SCHEMA.json FILE...
-      Validate each FILE (a whole JSON document) against SCHEMA.
+      Validate each FILE (a whole JSON document) against SCHEMA. The
+      schema argument may carry a fragment ('SCHEMA.json#/definitions/done')
+      to validate whole files against one definition — how CI checks the
+      single-record fleet marker files.
 
   validate.py SCHEMA.json --lines HEADER_REF RECORD_REF FILE...
       Treat each FILE as JSONL: line 1 validates against the schema
@@ -147,7 +150,7 @@ def main(argv):
     if not args:
         print(__doc__, file=sys.stderr)
         return 2
-    schema_path = args.pop(0)
+    schema_path, _, fragment = args.pop(0).partition("#")
     line_refs = None
     if args and args[0] == "--lines":
         if len(args) < 4:
@@ -168,7 +171,7 @@ def main(argv):
         with open(input_path, encoding="utf-8") as handle:
             if line_refs is None:
                 errors = schemas.validate(json.load(handle),
-                                          schema_name + "#")
+                                          schema_name + "#" + fragment)
                 documents += 1
             else:
                 errors = []
