@@ -35,6 +35,13 @@ class AttackerRuntime final : public sim::TransmissionObserver {
   /// Begins eavesdropping at time `at` (typically source activation).
   void activate(sim::SimTime at);
 
+  /// Rewinds every per-run field to its just-constructed value so the same
+  /// runtime instance (still registered as an observer) can serve the next
+  /// seed of a batched cell. Configuration (params, frame, traced type,
+  /// stop-on-capture) persists; the shipped decision functions are
+  /// stateless, so nothing inside D needs rewinding.
+  void reset_run();
+
   /// Whether capturing the source halts the simulation (default true; the
   /// capture-ratio experiments need nothing after a capture). Disable to
   /// keep collecting delivery metrics for the full safety period.

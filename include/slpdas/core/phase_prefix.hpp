@@ -1,0 +1,53 @@
+// The seed-independent prefix of a run — everything a cell's N seeded
+// runs share because it is a pure function of (config, topology) alone.
+//
+// Conceptually a run is  setup-constants → seeded simulation ; the
+// PhasePrefix is a named snapshot of the first part: the derived
+// protocol configs, the safety-period BFS, the activation / end-time
+// arithmetic, and the immutable HELLO beacon payloads every node of
+// every seed broadcasts verbatim. RunBatch captures one PhasePrefix per
+// cell and forks seeds from it (see run_batch.hpp); capture() is the
+// ONLY place this state may be computed or mutated — after capture the
+// prefix is read-only shared by every concurrent worker, which the
+// slpdas_lint prefix-mutation rule enforces textually.
+#pragma once
+
+#include "slpdas/core/experiment.hpp"
+#include "slpdas/das/protocol.hpp"
+#include "slpdas/phantom/phantom_routing.hpp"
+#include "slpdas/sim/message.hpp"
+#include "slpdas/sim/time.hpp"
+#include "slpdas/slp/slp_das.hpp"
+#include "slpdas/verify/safety_period.hpp"
+
+namespace slpdas::core {
+
+struct PhasePrefix {
+  // Derived protocol configurations.
+  das::DasConfig das{};
+  slp::SlpConfig slp{};
+  phantom::PhantomConfig phantom{};
+  bool is_phantom = false;
+
+  // Safety-period BFS over the topology (paper Section VI-B).
+  verify::SafetyPeriod safety{};
+
+  // Phase timeline: data phase + attacker start, and the two end bounds.
+  sim::SimTime activation = 0;  ///< data phase + attacker start
+  sim::SimTime safety_end = 0;  ///< activation + safety period
+  sim::SimTime run_end = 0;     ///< min(safety_end, upper time bound)
+
+  // Immutable, payload-free HELLO beacons: one shared instance serves
+  // every node of every seed (das/slp and phantom name their beacons
+  // "HELLO" via distinct classes, hence two pointers).
+  sim::MessagePtr das_hello;
+  sim::MessagePtr phantom_hello;
+
+  /// Captures the prefix for `config` against `topology` (which must be
+  /// config.topology.build()'s result). Throws std::invalid_argument on
+  /// an invalid source/sink — the per-run validation, done once.
+  [[nodiscard]] static PhasePrefix capture(const ExperimentConfig& config,
+                                           const wsn::Topology& topology);
+};
+
+}  // namespace slpdas::core

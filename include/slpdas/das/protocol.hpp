@@ -21,6 +21,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "slpdas/das/messages.hpp"
@@ -54,8 +56,11 @@ struct DasConfig {
 /// the instance for `sink` anchors the schedule.
 class ProtectionlessDas : public sim::Process {
  public:
+  /// `shared_hello` optionally supplies the immutable HELLO beacon payload
+  /// (one instance can serve every node of every seed, since the message
+  /// is payload-free); when null the process builds its own on first use.
   ProtectionlessDas(const DasConfig& config, wsn::NodeId sink,
-                    wsn::NodeId source);
+                    wsn::NodeId source, sim::MessagePtr shared_hello = nullptr);
 
   // -- observable protocol state (read by harnesses, tests, metrics) ------
   [[nodiscard]] bool slot_assigned() const noexcept {
@@ -117,6 +122,7 @@ class ProtectionlessDas : public sim::Process {
   void on_start() override;
   void on_message(wsn::NodeId from, const sim::Message& message) override;
   void on_timer(int timer_id) override;
+  void reset_run() override;
 
  protected:
   enum Timer : int {
@@ -181,14 +187,21 @@ class ProtectionlessDas : public sim::Process {
 
   // Figure 2 variables.
   std::vector<wsn::NodeId> my_neighbors_;              // myN (discovery order)
+  /// Dense membership mirror of my_neighbors_ (arena-carved, one byte per
+  /// node): add_neighbor runs on every HELLO and DISSEM reception, and an
+  /// indexed load replaces a linear scan of the discovery-order list.
+  std::span<std::uint8_t> neighbor_known_;
   util::FlatSet<wsn::NodeId> potential_parents_;            // Npar
   util::FlatSet<wsn::NodeId> children_;                     // children
   std::vector<std::vector<wsn::NodeId>> others_;  // Others[j], dense by node
-  /// Ninfo[] as a dense per-node table (sized in on_start) — the merge in
-  /// handle_dissem runs millions of times per experiment, and an indexed
-  /// load beats a tree walk plus node allocation. Unwritten entries read
-  /// as NodeInfo{} (unassigned), exactly like an absent map key did.
-  std::vector<NodeInfo> ninfo_;
+  /// Ninfo[] as a dense per-node table — the merge in handle_dissem runs
+  /// millions of times per experiment, and an indexed load beats a tree
+  /// walk plus node allocation. Unwritten entries read as NodeInfo{}
+  /// (unassigned), exactly like an absent map key did. Carved out of the
+  /// simulator's node-state arena in on_start (N entries per node makes
+  /// this the N^2 table of the protocol); reset_run drops the span and the
+  /// next on_start re-carves it from the rewound arena.
+  std::span<NodeInfo> ninfo_;
   /// Node ids (never our own) whose ninfo_ entry is assigned, in first-
   /// learned order. Assignment is monotone (slots never unassign), so each
   /// node appears at most once; collision resolution scans this compact
@@ -202,10 +215,26 @@ class ProtectionlessDas : public sim::Process {
   /// HELLO beacons are immutable and payload-free: build one and
   /// re-broadcast it every discovery period (no per-send allocation).
   sim::MessagePtr hello_message_;
+  /// Recycled DISSEM / NORMAL payloads: a broadcast whose staged copy has
+  /// drained (use_count back to 1) is rebuilt in place instead of heap-
+  /// allocating a fresh message — in steady state every data-phase send
+  /// reuses the same two blocks. Content is rebuilt field-by-field each
+  /// send, so reuse is invisible to receivers.
+  std::shared_ptr<DissemMessage> dissem_pool_;
+  std::shared_ptr<NormalMessage> normal_pool_;
   int hop_ = -1;
   wsn::NodeId parent_ = wsn::kNoNode;
   mac::SlotId slot_ = mac::kNoSlot;
   bool update_pending_ = false;  // Normal == 0 until next dissem goes out
+
+  /// Dirty flag over the inputs of the per-period repair scans (strong-DAS
+  /// repair and collision resolution): set whenever a neighbour is
+  /// discovered, an ninfo_ entry changes, or our own (hop, slot) moves —
+  /// the only inputs those scans read. When clear, re-running the scans
+  /// would provably reproduce last period's no-op, so run_process_action
+  /// skips them; this kills the O(known_assigned) sweep per node per
+  /// period once (and between) schedule changes.
+  bool repair_check_pending_ = true;
 
   int period_index_ = -1;
   int dissem_budget_ = 0;

@@ -69,8 +69,10 @@ struct PhantomData final : sim::Message {
 
 class PhantomRouting final : public sim::Process {
  public:
+  /// `shared_hello` optionally supplies the immutable HELLO payload (shared
+  /// across nodes and seeds); when null the process builds its own.
   PhantomRouting(const PhantomConfig& config, wsn::NodeId sink,
-                 wsn::NodeId source);
+                 wsn::NodeId source, sim::MessagePtr shared_hello = nullptr);
 
   [[nodiscard]] bool is_sink() const noexcept { return id() == sink_; }
   [[nodiscard]] bool is_source() const noexcept { return id() == source_; }
@@ -95,6 +97,7 @@ class PhantomRouting final : public sim::Process {
   void on_start() override;
   void on_timer(int timer_id) override;
   void on_message(wsn::NodeId from, const sim::Message& message) override;
+  void reset_run() override;
 
  private:
   enum Timer : int {

@@ -145,7 +145,7 @@ class EventQueue {
   static constexpr std::size_t kNumBuckets = 1024;
 
   explicit EventQueue(Backend backend = Backend::kCalendar)
-      : backend_(backend) {}
+      : backend_(backend), initial_backend_(backend) {}
 
   /// The ordering structure currently in use (observability: tests assert
   /// the pathological-workload degradation fires).
@@ -353,6 +353,57 @@ class EventQueue {
     heap_.clear();
     heap_.shrink_to_fit();
     size_ = 0;
+  }
+
+  /// Rewinds the queue to its just-constructed state while RETAINING every
+  /// capacity a previous run grew (calendar bins, the sorted window, the
+  /// payload slot tables): pending events are dropped and their resources
+  /// released exactly as in clear(), but nothing is shrunk, so the next
+  /// run reaches its steady state with zero allocations. The sequence
+  /// counter, the calendar anchor and the degradation accounting all
+  /// restart from zero, and the backend reverts to the one selected at
+  /// construction — a degrade-to-heap verdict belongs to one run's
+  /// timestamp distribution, never to the next seed. This is what makes a
+  /// forked run bit-identical to a cold-constructed one.
+  void reset_run() {
+    for (std::size_t i = near_pos_; i < near_.size(); ++i) {
+      release_event_resources(near_[i]);
+    }
+    for (auto& bucket : buckets_) {
+      for (const Event& event : bucket) {
+        release_event_resources(event);
+      }
+      bucket.clear();
+    }
+    for (const Event& event : far_) {
+      release_event_resources(event);
+    }
+    for (const Event& event : heap_) {
+      release_event_resources(event);
+    }
+    for (MessageSlot& staged : messages_) {
+      // Any payload still staged (including popped-but-unreleased slots —
+      // there are none between runs) must not leak into the next seed.
+      staged.message.reset();
+      staged.references = 0;
+    }
+    messages_.clear();
+    free_messages_.clear();
+    controls_.clear();
+    free_controls_.clear();
+    near_.clear();
+    near_pos_ = 0;
+    far_.clear();
+    heap_.clear();
+    occupancy_.fill(0);
+    size_ = 0;
+    next_sequence_ = 0;
+    total_pushed_ = 0;
+    far_scanned_ = 0;
+    near_shifted_ = 0;
+    active_bucket_ = 0;
+    far_boundary_ = static_cast<std::int64_t>(kNumBuckets);
+    backend_ = initial_backend_;
   }
 
  private:
@@ -617,6 +668,8 @@ class EventQueue {
   }
 
   Backend backend_;
+  /// The backend chosen at construction; reset_run() reverts to it.
+  Backend initial_backend_;
   std::size_t size_ = 0;
   std::uint64_t next_sequence_ = 0;
 

@@ -33,6 +33,11 @@ class RadioModel {
   /// Randomness must be drawn only from `rng` so runs stay reproducible.
   [[nodiscard]] virtual bool delivered(wsn::NodeId from, wsn::NodeId to,
                                        SimTime at, Rng& rng) = 0;
+
+  /// Rewinds any internal state to the just-constructed value so the same
+  /// model instance can serve the next seed of a batched cell (the
+  /// phase-prefix fork path). Stateless models need not override.
+  virtual void reset_run() noexcept {}
 };
 
 /// Loss-free radio: the paper's ideal communication model.
@@ -77,8 +82,27 @@ class CasinoLabNoise final : public RadioModel {
   [[nodiscard]] bool delivered(wsn::NodeId from, wsn::NodeId to, SimTime at,
                                Rng& rng) override;
 
+  /// Non-virtual reception decision with the state-transition check
+  /// inlined: the overwhelmingly common case is `at` before the next
+  /// sojourn transition, which costs one compare plus one Bernoulli draw.
+  /// The Simulator calls this directly when it detects a CasinoLabNoise
+  /// radio, skipping the virtual dispatch on the hottest per-reception
+  /// path. Draw order is identical to delivered(): transitions first
+  /// (only when due), then the loss draw.
+  [[nodiscard]] bool decide(SimTime at, Rng& rng) {
+    if (at >= next_transition_) {
+      advance_to(at, rng);
+    }
+    return !rng.bernoulli(in_burst_ ? params_.burst_loss : params_.quiet_loss);
+  }
+
   /// Whether the process is currently in the burst state (for tests).
   [[nodiscard]] bool in_burst() const noexcept { return in_burst_; }
+
+  void reset_run() noexcept override {
+    in_burst_ = false;
+    next_transition_ = -1;
+  }
 
  private:
   void advance_to(SimTime at, Rng& rng);

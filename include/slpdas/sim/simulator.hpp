@@ -20,7 +20,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -28,6 +30,7 @@
 #include "slpdas/rng.hpp"
 #include "slpdas/sim/event_queue.hpp"
 #include "slpdas/sim/message.hpp"
+#include "slpdas/sim/node_arena.hpp"
 #include "slpdas/sim/radio.hpp"
 #include "slpdas/sim/time.hpp"
 #include "slpdas/wsn/graph.hpp"
@@ -60,6 +63,14 @@ class Process {
   virtual void on_message(wsn::NodeId from, const Message& message) = 0;
   /// Called when a timer armed with set_timer(timer_id, ...) fires.
   virtual void on_timer(int timer_id) { (void)timer_id; }
+
+  /// Called by Simulator::reset_run (the batched phase-prefix fork path):
+  /// the process must rewind every per-run mutable member to its
+  /// just-constructed value — state captured from (config, topology)
+  /// alone may persist — so the next seed behaves exactly like a freshly
+  /// constructed process. The default THROWS: a process type that has not
+  /// declared its seed-independent state must never be silently forked.
+  virtual void reset_run();
 
  protected:
   /// Broadcasts to all 1-hop neighbours (subject to the radio model).
@@ -111,6 +122,16 @@ class Simulator {
   /// Registers a passive eavesdropper; not owned.
   void add_observer(TransmissionObserver* observer);
 
+  /// Rewinds the simulator to time 0 under a fresh seed WITHOUT releasing
+  /// any capacity: the event queue, timer tables, counters and the node
+  /// state arena all reset in place; every registered process and the
+  /// radio model get their reset_run() hook; observers stay registered.
+  /// The next step() re-fires on_start in node order, exactly like a
+  /// cold-constructed simulator — this is the seed N+1 path of batched
+  /// cell execution (RunBatch forks one simulator per worker and resets
+  /// it between seeds instead of reconstructing it).
+  void reset_run(std::uint64_t seed);
+
   /// Schedules an arbitrary callback `delay` from now (used by harnesses
   /// for phase changes, e.g. "activate the source at period 80").
   void call_at(SimTime at, std::function<void()> action);
@@ -132,6 +153,22 @@ class Simulator {
   [[nodiscard]] const wsn::Graph& graph() const noexcept { return graph_; }
   [[nodiscard]] RadioModel& radio() noexcept { return *radio_; }
 
+  /// Per-run node state pools (see node_arena.hpp). Processes carve their
+  /// dense tables here during on_start; reset_run rewinds the cursor.
+  [[nodiscard]] NodeStateArena& arena() noexcept { return arena_; }
+
+  /// One reception decision through the simulator's radio model and RNG —
+  /// the single choke point for radio draws, used by the broadcast loop
+  /// and the attacker runtime alike so the draw order stays pinned. For
+  /// the default CasinoLabNoise model the virtual dispatch is bypassed
+  /// via a cached downcast (the model's state-transition fast path then
+  /// inlines here).
+  [[nodiscard]] bool radio_delivered(wsn::NodeId from, wsn::NodeId to,
+                                     SimTime at) {
+    return casino_ != nullptr ? casino_->decide(at, rng_)
+                              : radio_->delivered(from, to, at, rng_);
+  }
+
   [[nodiscard]] Process& process(wsn::NodeId node);
   [[nodiscard]] const Process& process(wsn::NodeId node) const;
 
@@ -143,6 +180,10 @@ class Simulator {
   /// stable name pointers instead of a string hash per send).
   [[nodiscard]] const std::unordered_map<std::string, std::uint64_t>&
   sends_by_type() const;
+  /// Sent count for one message class by its static kName pointer-or-text
+  /// (strcmp over ≤ a handful of counter entries) — the allocation-free
+  /// alternative to materialising sends_by_type() per run.
+  [[nodiscard]] std::uint64_t sent_of(const char* name) const noexcept;
   [[nodiscard]] std::uint64_t total_sent() const noexcept { return total_sent_; }
   /// Every popped event, including stale (re-armed or cancelled) timer
   /// expiries that were skipped at pop time.
@@ -185,6 +226,12 @@ class Simulator {
   /// for a timer that was never armed (no generation entry is created).
   void disarm_timer(wsn::NodeId node, int timer_id) noexcept;
 
+  /// Re-lays the flat timer-generation table out with a wider per-node
+  /// stride (next power of two above `timer_id`), preserving existing
+  /// generations. Cold path: protocols use small consecutive ids, so the
+  /// default stride of 8 almost never grows.
+  void grow_timer_table(int timer_id);
+
   /// Bumps the per-type send counter for a message class. `name` must be
   /// the class's stable name() pointer (one static string per class), so
   /// identity compare suffices and the scan is over ≤ a handful of
@@ -205,12 +252,14 @@ class Simulator {
   std::uint64_t total_sent_ = 0;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<TrafficCounters> traffic_;
-  /// timer_generations_[node][timer_id] — current arming generation of
-  /// each timer, grown on first arm of an id and checked when an expiry
-  /// pops. Dense vectors (not per-process hash maps): the set of timer
-  /// ids a protocol uses is small and consecutive, so the check is one
-  /// indexed load on the hot path.
-  std::vector<std::vector<std::uint64_t>> timer_generations_;
+  /// timer_generations_[node * timer_stride_ + timer_id] — current arming
+  /// generation of each timer, checked when an expiry pops. One flat
+  /// array (not per-node vectors, not hash maps): the set of timer ids a
+  /// protocol uses is small and consecutive, so the check is one indexed
+  /// load with no second indirection on the hot path. The stride widens
+  /// (grow_timer_table) iff a protocol ever arms an id >= timer_stride_.
+  std::vector<std::uint64_t> timer_generations_;
+  std::size_t timer_stride_ = 8;
   std::vector<TransmissionObserver*> observers_;
   /// Hot-path send accounting: one entry per message class, keyed by the
   /// class's static name() pointer. Folded into sends_by_type_ lazily.
@@ -220,6 +269,61 @@ class Simulator {
   };
   std::vector<SendCounter> send_counters_;
   mutable std::unordered_map<std::string, std::uint64_t> sends_by_type_;
+  /// Per-run node state pools; rewound (not freed) by reset_run.
+  NodeStateArena arena_;
+  /// Cached downcast of radio_ when it is the CasinoLabNoise model —
+  /// lets radio_delivered() skip the virtual call on the hot path.
+  CasinoLabNoise* casino_ = nullptr;
 };
+
+// ---- inline hot paths ------------------------------------------------------
+// The timer chain (Process::set_timer -> Simulator::arm_timer ->
+// EventQueue::push_timer) runs tens of millions of times per sweep cell —
+// every HELLO jitter, dissemination window, slot fire and period boundary
+// arms a timer — so the whole chain is defined here, after both classes
+// are complete, and collapses to a generation bump plus a queue push.
+
+inline void Simulator::arm_timer(wsn::NodeId node, int timer_id,
+                                 SimTime delay) {
+  if (timer_id < 0) {
+    throw std::invalid_argument("Process::set_timer: negative timer id");
+  }
+  if (delay > 0 && now_ > std::numeric_limits<SimTime>::max() - delay) {
+    throw std::overflow_error("Process::set_timer: expiry overflows SimTime");
+  }
+  if (static_cast<std::size_t>(timer_id) >= timer_stride_) {
+    grow_timer_table(timer_id);
+  }
+  const std::uint64_t generation =
+      ++timer_generations_[static_cast<std::size_t>(node) * timer_stride_ +
+                           static_cast<std::size_t>(timer_id)];
+  queue_.push_timer(now_ + delay, node, timer_id, generation);
+}
+
+inline void Simulator::disarm_timer(wsn::NodeId node, int timer_id) noexcept {
+  if (timer_id >= 0 && static_cast<std::size_t>(timer_id) < timer_stride_) {
+    // Bumping the generation invalidates any pending expiry. A timer id
+    // past the table's stride was never armed: nothing to invalidate, and
+    // deliberately nothing grown either.
+    ++timer_generations_[static_cast<std::size_t>(node) * timer_stride_ +
+                         static_cast<std::size_t>(timer_id)];
+  }
+}
+
+inline void Process::set_timer(int timer_id, SimTime delay) {
+  if (simulator_ == nullptr) {
+    throw std::logic_error("Process::set_timer before registration");
+  }
+  if (delay < 0) {
+    throw std::invalid_argument("Process::set_timer: negative delay");
+  }
+  simulator_->arm_timer(id_, timer_id, delay);
+}
+
+inline void Process::cancel_timer(int timer_id) {
+  if (simulator_ != nullptr) {
+    simulator_->disarm_timer(id_, timer_id);
+  }
+}
 
 }  // namespace slpdas::sim

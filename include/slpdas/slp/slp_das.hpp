@@ -50,7 +50,8 @@ struct SlpConfig {
 
 class SlpDas final : public das::ProtectionlessDas {
  public:
-  SlpDas(const SlpConfig& config, wsn::NodeId sink, wsn::NodeId source);
+  SlpDas(const SlpConfig& config, wsn::NodeId sink, wsn::NodeId source,
+         sim::MessagePtr shared_hello = nullptr);
 
   /// True if this node became the redirection start node (Figure 3's
   /// startNode flag).
@@ -62,6 +63,7 @@ class SlpDas final : public das::ProtectionlessDas {
   [[nodiscard]] const SlpConfig& slp_config() const noexcept { return slp_; }
 
   void on_timer(int timer_id) override;
+  void reset_run() override;
 
  protected:
   void on_period_start(int period_index) override;

@@ -22,6 +22,18 @@ AttackerRuntime::AttackerRuntime(sim::Simulator& simulator,
   simulator.add_observer(this);
 }
 
+void AttackerRuntime::reset_run() {
+  active_ = false;
+  activated_at_ = 0;
+  location_ = params_.start;
+  messages_.clear();
+  moves_this_period_ = 0;
+  history_.clear();
+  current_period_ = -1;
+  captured_.reset();
+  trail_.clear();
+}
+
 void AttackerRuntime::activate(sim::SimTime at) {
   active_ = true;
   activated_at_ = at;
@@ -63,8 +75,7 @@ void AttackerRuntime::on_transmission(wsn::NodeId from,
   if (!audible) {
     return;
   }
-  if (from != location_ &&
-      !simulator_.radio().delivered(from, location_, at, simulator_.rng())) {
+  if (from != location_ && !simulator_.radio_delivered(from, location_, at)) {
     return;
   }
 

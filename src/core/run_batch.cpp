@@ -1,10 +1,7 @@
 #include "slpdas/core/run_batch.hpp"
 
-#include <algorithm>
 #include <memory>
-#include <stdexcept>
 
-#include "slpdas/attacker/runtime.hpp"
 #include "slpdas/mac/schedule_io.hpp"
 #include "slpdas/rng.hpp"
 #include "slpdas/verify/das_checker.hpp"
@@ -13,71 +10,70 @@ namespace slpdas::core {
 
 RunBatch::RunBatch(const ExperimentConfig& config,
                    const wsn::Topology& topology)
-    : config_(config), topology_(topology) {
-  const wsn::Graph& graph = topology.graph;
-  if (!graph.contains(topology.source) || !graph.contains(topology.sink) ||
-      topology.source == topology.sink) {
-    throw std::invalid_argument("run_single: invalid source/sink");
-  }
+    : config_(config),
+      topology_(topology),
+      prefix_(PhasePrefix::capture(config, topology)) {}
 
-  das_config_ = config.parameters.das_config();
-  is_phantom_ = config.protocol == ProtocolKind::kPhantomRouting;
-  if (config.protocol == ProtocolKind::kSlpDas) {
-    slp_config_ = config.parameters.slp_config(topology);
-  }
-  phantom_config_.period = das_config_.period();
-  phantom_config_.hello_periods = das_config_.neighbor_discovery_periods;
-  phantom_config_.setup_periods = das_config_.minimum_setup_periods;
-  phantom_config_.walk_length = config.phantom_walk_length;
-
-  // The safety-period BFS depends only on the graph and the parameters —
-  // hoisted here, it runs once per cell instead of once per seed.
-  safety_ = verify::compute_safety_period(graph, topology.source,
-                                          topology.sink,
-                                          config.parameters.safety_factor);
-
-  const sim::SimTime period = das_config_.period();
-  activation_ =
-      static_cast<sim::SimTime>(das_config_.minimum_setup_periods) * period;
-  safety_end_ = activation_ + safety_.duration(das_config_.frame);
-  const sim::SimTime upper_bound =
-      activation_ + config.parameters.upper_time_bound(graph.node_count());
-  run_end_ = std::min(safety_end_, upper_bound);
-}
-
-RunResult RunBatch::run_one(std::uint64_t seed) const {
-  const wsn::Graph& graph = topology_.graph;
-  sim::Simulator simulator(graph, make_radio(config_), seed);
-
-  for (wsn::NodeId node = 0; node < graph.node_count(); ++node) {
+void RunBatch::add_processes(sim::Simulator& simulator) const {
+  for (wsn::NodeId node = 0; node < topology_.graph.node_count(); ++node) {
     switch (config_.protocol) {
       case ProtocolKind::kSlpDas:
-        simulator.add_process(node, std::make_unique<slp::SlpDas>(
-                                        slp_config_, topology_.sink,
-                                        topology_.source));
+        simulator.add_process(
+            node, std::make_unique<slp::SlpDas>(prefix_.slp, topology_.sink,
+                                                topology_.source,
+                                                prefix_.das_hello));
         break;
       case ProtocolKind::kPhantomRouting:
         simulator.add_process(node, std::make_unique<phantom::PhantomRouting>(
-                                        phantom_config_, topology_.sink,
-                                        topology_.source));
+                                        prefix_.phantom, topology_.sink,
+                                        topology_.source,
+                                        prefix_.phantom_hello));
         break;
       case ProtocolKind::kProtectionlessDas:
         simulator.add_process(node, std::make_unique<das::ProtectionlessDas>(
-                                        das_config_, topology_.sink,
-                                        topology_.source));
+                                        prefix_.das, topology_.sink,
+                                        topology_.source, prefix_.das_hello));
         break;
     }
   }
+}
 
+RunBatch::Fork::Fork(const RunBatch& batch)
+    : batch_(batch),
+      // Seed 0 is a placeholder: run() always reset_run()s to the real
+      // seed before stepping, and reseeding is exactly the construction
+      // path of the RNG.
+      simulator_(batch.topology_.graph, make_radio(batch.config_), 0),
+      eavesdropper_(simulator_, batch.prefix_.das.frame,
+                    batch.config_.attacker.build(batch.topology_.sink),
+                    batch.topology_.source) {
+  batch.add_processes(simulator_);
+}
+
+RunResult RunBatch::Fork::run(std::uint64_t seed) {
+  simulator_.reset_run(seed);
+  eavesdropper_.reset_run();
+  return batch_.execute(simulator_, eavesdropper_);
+}
+
+RunResult RunBatch::run_one(std::uint64_t seed) const {
+  sim::Simulator simulator(topology_.graph, make_radio(config_), seed);
+  add_processes(simulator);
   attacker::AttackerRuntime eavesdropper(
-      simulator, das_config_.frame, config_.attacker.build(topology_.sink),
+      simulator, prefix_.das.frame, config_.attacker.build(topology_.sink),
       topology_.source);
+  return execute(simulator, eavesdropper);
+}
+
+RunResult RunBatch::execute(sim::Simulator& simulator,
+                            attacker::AttackerRuntime& eavesdropper) const {
+  const wsn::Graph& graph = topology_.graph;
 
   // ---- setup phase: periods [0, MSP) --------------------------------------
-  simulator.run_until(activation_);
+  simulator.run_until(prefix_.activation);
 
   RunResult result;
-  if (!is_phantom_) {
+  if (!prefix_.is_phantom) {
     const mac::Schedule schedule = das::extract_schedule(simulator);
     result.schedule_complete = schedule.complete();
     if (result.schedule_complete) {
@@ -93,36 +89,38 @@ RunResult RunBatch::run_one(std::uint64_t seed) const {
     }
   }
   // ---- data phase + attacker ----------------------------------------------
-  result.safety_periods = safety_.periods;
-  result.source_sink_distance = safety_.source_sink_distance;
+  result.safety_periods = prefix_.safety.periods;
+  result.source_sink_distance = prefix_.safety.source_sink_distance;
 
-  eavesdropper.activate(activation_);
-  simulator.run_until(run_end_);
+  eavesdropper.activate(prefix_.activation);
+  simulator.run_until(prefix_.run_end);
 
-  if (eavesdropper.captured() && *eavesdropper.capture_time() <= safety_end_) {
+  if (eavesdropper.captured() &&
+      *eavesdropper.capture_time() <= prefix_.safety_end) {
     result.captured = true;
     result.capture_time_s =
-        sim::to_seconds(*eavesdropper.capture_time() - activation_);
+        sim::to_seconds(*eavesdropper.capture_time() - prefix_.activation);
   }
   result.attacker_moves = eavesdropper.moves_made();
 
   // ---- metrics ------------------------------------------------------------
-  const auto& by_type = simulator.sends_by_type();
-  const auto lookup = [&by_type](const char* name) -> double {
-    const auto it = by_type.find(name);
-    return it == by_type.end() ? 0.0 : static_cast<double>(it->second);
-  };
+  // sent_of scans the simulator's flat per-class counters directly; unlike
+  // sends_by_type() it materialises no per-run map.
   const auto node_count = static_cast<double>(graph.node_count());
-  result.normal_messages_per_node = lookup("NORMAL") / node_count;
+  result.normal_messages_per_node =
+      static_cast<double>(simulator.sent_of("NORMAL")) / node_count;
   result.control_messages_per_node =
-      (lookup("HELLO") + lookup("DISSEM") + lookup("SEARCH") +
-       lookup("CHANGE") + lookup("BEACON")) /
+      static_cast<double>(simulator.sent_of("HELLO") +
+                          simulator.sent_of("DISSEM") +
+                          simulator.sent_of("SEARCH") +
+                          simulator.sent_of("CHANGE") +
+                          simulator.sent_of("BEACON")) /
       node_count;
 
   std::uint64_t generated = 0;
   std::uint64_t delivered = 0;
   double latency_s = 0.0;
-  if (is_phantom_) {
+  if (prefix_.is_phantom) {
     const auto& source_process = dynamic_cast<const phantom::PhantomRouting&>(
         simulator.process(topology_.source));
     const auto& sink_process = dynamic_cast<const phantom::PhantomRouting&>(
@@ -152,9 +150,12 @@ RunResult RunBatch::run_one(std::uint64_t seed) const {
 
 void RunBatch::run_range(std::uint64_t base_seed, int first, int last,
                          RunResult* out) const {
+  // One fork per call: concurrent run_range calls on the same batch (the
+  // sweep slicing one cell across workers) each get their own simulator.
+  Fork fork(*this);
   for (int run = first; run < last; ++run) {
     out[run - first] =
-        run_one(derive_seed(base_seed, static_cast<std::uint64_t>(run)));
+        fork.run(derive_seed(base_seed, static_cast<std::uint64_t>(run)));
   }
 }
 

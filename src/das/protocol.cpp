@@ -30,8 +30,12 @@ int rank_in(wsn::NodeId node, const std::vector<wsn::NodeId>& competitors) {
 }  // namespace
 
 ProtectionlessDas::ProtectionlessDas(const DasConfig& config, wsn::NodeId sink,
-                                     wsn::NodeId source)
-    : config_(config), sink_(sink), source_(source) {
+                                     wsn::NodeId source,
+                                     sim::MessagePtr shared_hello)
+    : config_(config),
+      sink_(sink),
+      source_(source),
+      hello_message_(std::move(shared_hello)) {
   if (config.neighbor_discovery_periods < 1 ||
       config.dissemination_timeout < 1 || config.minimum_setup_periods < 2) {
     throw std::invalid_argument("DasConfig: non-positive phase lengths");
@@ -43,9 +47,42 @@ ProtectionlessDas::ProtectionlessDas(const DasConfig& config, wsn::NodeId sink,
 }
 
 void ProtectionlessDas::on_start() {
-  ninfo_.resize(static_cast<std::size_t>(graph().node_count()));
-  others_.resize(static_cast<std::size_t>(graph().node_count()));
+  const auto nodes = static_cast<std::size_t>(graph().node_count());
+  ninfo_ = simulator().arena().allocate<NodeInfo>(nodes);
+  neighbor_known_ = simulator().arena().allocate<std::uint8_t>(nodes);
+  others_.resize(nodes);
   set_timer(kPeriodTimer, 0);
+}
+
+void ProtectionlessDas::reset_run() {
+  my_neighbors_.clear();
+  potential_parents_.clear();
+  children_.clear();
+  for (auto& competitors : others_) {
+    competitors.clear();
+  }
+  ninfo_ = {};  // dead once the arena rewinds; on_start re-carves both
+  neighbor_known_ = {};
+  known_assigned_.clear();
+  taken_scratch_.clear();
+  competitors_scratch_.clear();
+  // hello_message_ / dissem_pool_ / normal_pool_ persist: the beacon is
+  // immutable and the pools are rebuilt per send (the queue was reset
+  // before us, so any staged reference has already drained).
+  hop_ = -1;
+  parent_ = wsn::kNoNode;
+  slot_ = mac::kNoSlot;
+  update_pending_ = false;
+  repair_check_pending_ = true;
+  period_index_ = -1;
+  dissem_budget_ = 0;
+  generated_seq_ = 0;
+  aggregated_seq_ = 0;
+  delivered_count_ = 0;
+  last_delivered_seq_ = 0;
+  latency_sum_ = 0;
+  latency_max_ = 0;
+  latency_count_ = 0;
 }
 
 void ProtectionlessDas::on_timer(int timer_id) {
@@ -70,6 +107,7 @@ void ProtectionlessDas::on_timer(int timer_id) {
         parent_ = wsn::kNoNode;
         slot_ = config_.sink_slot;
         ninfo_[id()] = NodeInfo{hop_, slot_};
+        repair_check_pending_ = true;
         request_dissemination();
       }
 
@@ -138,9 +176,11 @@ void ProtectionlessDas::on_message(wsn::NodeId from,
 }
 
 void ProtectionlessDas::add_neighbor(wsn::NodeId node) {
-  if (std::find(my_neighbors_.begin(), my_neighbors_.end(), node) ==
-      my_neighbors_.end()) {
+  std::uint8_t& known = neighbor_known_[static_cast<std::size_t>(node)];
+  if (!known) {
+    known = 1;
     my_neighbors_.push_back(node);
+    repair_check_pending_ = true;  // widens the strong-repair scan set
   }
 }
 
@@ -154,9 +194,17 @@ void ProtectionlessDas::handle_dissem(wsn::NodeId from,
 
   // Merge Ninfo. Slots only ever decrease in this protocol family (initial
   // assignment, collision resolution and refinement all move downward), so
-  // "smaller slot wins" merges stale and fresh views correctly.
+  // "smaller slot wins" merges stale and fresh views correctly. The
+  // sender's own entry is picked up in the same pass (it is needed twice
+  // below), replacing a second scan of the message.
   bool learned_something = false;
+  bool sender_assigned = false;
+  NodeInfo sender_info;
   for (const auto& [node, info] : message.ninfo) {
+    if (node == from && info.assigned()) {
+      sender_assigned = true;
+      sender_info = info;
+    }
     if (!info.assigned()) {
       continue;
     }
@@ -180,13 +228,8 @@ void ProtectionlessDas::handle_dissem(wsn::NodeId from,
     // node talking. Because slots strictly decrease, "news" is a finite
     // resource and the budget still quiesces once the schedule stabilises.
     request_dissemination();
+    repair_check_pending_ = true;  // an ninfo_ entry moved
   }
-
-  const auto sender_entry =
-      std::find_if(message.ninfo.begin(), message.ninfo.end(),
-                   [from](const auto& pair) { return pair.first == from; });
-  const bool sender_assigned = sender_entry != message.ninfo.end() &&
-                               sender_entry->second.assigned();
 
   // receiveN:: — while unassigned, record assigned senders as potential
   // parents, and their unassigned neighbours as slot competitors.
@@ -215,8 +258,8 @@ void ProtectionlessDas::handle_dissem(wsn::NodeId from,
   // before us, drop strictly below it to restore the DAS ordering, and
   // propagate the update downstream (Normal := 0).
   if (slot_assigned() && from == parent_ && sender_assigned &&
-      slot_ >= sender_entry->second.slot) {
-    adopt_slot(sender_entry->second.slot - 1, /*update_children=*/true);
+      slot_ >= sender_info.slot) {
+    adopt_slot(sender_info.slot - 1, /*update_children=*/true);
   }
 }
 
@@ -267,23 +310,31 @@ void ProtectionlessDas::run_process_action() {
     parent_ = chosen;
     slot_ = ninfo_[chosen].slot - rank_in(id(), others_[chosen]) - 1;
     ninfo_[id()] = NodeInfo{hop_, slot_};
+    repair_check_pending_ = true;
     request_dissemination();
   }
-  if (slot_assigned() && !is_sink() && config_.enforce_strong_das) {
-    // Strong DAS repair (Definition 2 cond 3): drop strictly below every
-    // known shortest-path neighbour (hop == ours - 1), not only the parent.
-    mac::SlotId upper = std::numeric_limits<mac::SlotId>::max();
-    for (wsn::NodeId neighbor : my_neighbors_) {
-      const NodeInfo& info = ninfo_[neighbor];
-      if (info.assigned() && info.hop == hop_ - 1) {
-        upper = std::min(upper, info.slot);
+  // The repair scans are pure functions of (my_neighbors_, ninfo_, hop_,
+  // slot_): with no change since the last check they would reproduce last
+  // period's no-op, so only re-scan when the dirty flag says an input
+  // moved. Repairs themselves re-set the flag (via adopt_slot), keeping
+  // the original converge-until-fixed-point behaviour.
+  if (slot_assigned() && !is_sink() && repair_check_pending_) {
+    repair_check_pending_ = false;
+    if (config_.enforce_strong_das) {
+      // Strong DAS repair (Definition 2 cond 3): drop strictly below every
+      // known shortest-path neighbour (hop == ours - 1), not only the
+      // parent.
+      mac::SlotId upper = std::numeric_limits<mac::SlotId>::max();
+      for (wsn::NodeId neighbor : my_neighbors_) {
+        const NodeInfo& info = ninfo_[neighbor];
+        if (info.assigned() && info.hop == hop_ - 1) {
+          upper = std::min(upper, info.slot);
+        }
+      }
+      if (upper != std::numeric_limits<mac::SlotId>::max() && slot_ >= upper) {
+        adopt_slot(upper - 1, /*update_children=*/true);
       }
     }
-    if (upper != std::numeric_limits<mac::SlotId>::max() && slot_ >= upper) {
-      adopt_slot(upper - 1, /*update_children=*/true);
-    }
-  }
-  if (slot_assigned() && !is_sink()) {
     resolve_collisions();
   }
   ninfo_[id()] = NodeInfo{hop_, slot_};
@@ -331,6 +382,7 @@ void ProtectionlessDas::adopt_slot(mac::SlotId new_slot, bool update_children) {
   slot_ = new_slot;
   ninfo_[id()] = NodeInfo{hop_, slot_};
   update_pending_ = update_pending_ || update_children;
+  repair_check_pending_ = true;
   request_dissemination();
 }
 
@@ -362,27 +414,36 @@ void ProtectionlessDas::send_dissem() {
     return;
   }
   --dissem_budget_;
-  auto message = std::make_shared<DissemMessage>();
-  message->normal = !update_pending_;
-  message->sender = id();
-  message->parent = parent_;
-  message->ninfo.reserve(1 + my_neighbors_.size());
-  message->ninfo.emplace_back(id(), NodeInfo{hop_, slot_});
+  // Reuse the pooled payload iff no staged copy of the previous send is
+  // still queued (sole owner check); receivers see identical content
+  // either way, since every field is rebuilt below.
+  if (!dissem_pool_ || dissem_pool_.use_count() != 1) {
+    dissem_pool_ = std::make_shared<DissemMessage>();
+  }
+  DissemMessage& message = *dissem_pool_;
+  message.normal = !update_pending_;
+  message.sender = id();
+  message.parent = parent_;
+  message.ninfo.clear();
+  message.ninfo.reserve(1 + my_neighbors_.size());
+  message.ninfo.emplace_back(id(), NodeInfo{hop_, slot_});
   for (wsn::NodeId neighbor : my_neighbors_) {
-    message->ninfo.emplace_back(neighbor, info_of(neighbor));
+    message.ninfo.emplace_back(neighbor, info_of(neighbor));
   }
   update_pending_ = false;
-  broadcast(std::move(message));
+  broadcast(dissem_pool_);
 }
 
 void ProtectionlessDas::send_data() {
   if (!slot_assigned() || is_sink()) {
     return;
   }
-  auto message = std::make_shared<NormalMessage>();
-  message->sender = id();
-  message->aggregated_seq = aggregated_seq_;
-  broadcast(std::move(message));
+  if (!normal_pool_ || normal_pool_.use_count() != 1) {
+    normal_pool_ = std::make_shared<NormalMessage>();
+  }
+  normal_pool_->sender = id();
+  normal_pool_->aggregated_seq = aggregated_seq_;
+  broadcast(normal_pool_);
 }
 
 mac::Schedule extract_schedule(const sim::Simulator& simulator) {

@@ -6,8 +6,12 @@
 namespace slpdas::phantom {
 
 PhantomRouting::PhantomRouting(const PhantomConfig& config, wsn::NodeId sink,
-                               wsn::NodeId source)
-    : config_(config), sink_(sink), source_(source) {
+                               wsn::NodeId source,
+                               sim::MessagePtr shared_hello)
+    : config_(config),
+      sink_(sink),
+      source_(source),
+      hello_message_(std::move(shared_hello)) {
   if (config.hello_periods < 1 || config.setup_periods <= config.hello_periods) {
     throw std::invalid_argument("PhantomConfig: invalid phase lengths");
   }
@@ -20,6 +24,21 @@ PhantomRouting::PhantomRouting(const PhantomConfig& config, wsn::NodeId sink,
 }
 
 void PhantomRouting::on_start() { set_timer(kPeriodTimer, 0); }
+
+void PhantomRouting::reset_run() {
+  period_index_ = -1;
+  neighbors_.clear();
+  // hello_message_ persists: immutable, payload-free.
+  neighbor_hops_.clear();
+  hops_from_sink_ = -1;
+  beacon_pending_ = false;
+  generated_ = 0;
+  seen_seqs_.clear();
+  delivered_seqs_.clear();
+  latency_sum_ = 0;
+  latency_count_ = 0;
+  outbox_.clear();
+}
 
 void PhantomRouting::on_timer(int timer_id) {
   switch (timer_id) {

@@ -44,8 +44,7 @@ void CasinoLabNoise::advance_to(SimTime at, Rng& rng) {
 }
 
 bool CasinoLabNoise::delivered(wsn::NodeId, wsn::NodeId, SimTime at, Rng& rng) {
-  advance_to(at, rng);
-  return !rng.bernoulli(in_burst_ ? params_.burst_loss : params_.quiet_loss);
+  return decide(at, rng);
 }
 
 std::unique_ptr<RadioModel> make_ideal_radio() {

@@ -1,5 +1,8 @@
 #include "slpdas/sim/simulator.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -18,27 +21,17 @@ void Process::broadcast(MessagePtr message) {
   simulator_->do_broadcast(id_, std::move(message));
 }
 
-void Process::set_timer(int timer_id, SimTime delay) {
-  if (simulator_ == nullptr) {
-    throw std::logic_error("Process::set_timer before registration");
-  }
-  if (delay < 0) {
-    throw std::invalid_argument("Process::set_timer: negative delay");
-  }
-  simulator_->arm_timer(id_, timer_id, delay);
-}
-
-void Process::cancel_timer(int timer_id) {
-  if (simulator_ != nullptr) {
-    simulator_->disarm_timer(id_, timer_id);
-  }
-}
-
 SimTime Process::now() const { return simulator_->now(); }
 
 Rng& Process::rng() { return simulator_->rng(); }
 
 const wsn::Graph& Process::graph() const { return simulator_->graph(); }
+
+void Process::reset_run() {
+  throw std::logic_error(
+      "Process::reset_run: this process type has not declared its "
+      "seed-independent state and cannot be forked between seeds");
+}
 
 // -------------------------------------------------------------- Simulator
 
@@ -51,9 +44,12 @@ Simulator::Simulator(const wsn::Graph& graph, std::unique_ptr<RadioModel> radio,
   const auto nodes = static_cast<std::size_t>(graph.node_count());
   processes_.resize(nodes);
   traffic_.resize(nodes);
-  // Dense generation tables sized for every timer id the shipped
-  // protocols use, so arming a timer mid-run never grows a vector.
-  timer_generations_.assign(nodes, std::vector<std::uint64_t>(8, 0));
+  // One flat generation table sized for every timer id the shipped
+  // protocols use, so arming a timer mid-run never grows anything.
+  timer_generations_.assign(nodes * timer_stride_, 0);
+  // Virtual-dispatch bypass for the default noise model (see
+  // radio_delivered): resolved once here, never changes afterwards.
+  casino_ = dynamic_cast<CasinoLabNoise*>(radio_.get());
   // Pre-size the event queue for this topology's steady state: pending
   // events scale with in-flight broadcasts (≈ degree per sender, the
   // whole network in one dissemination slot) plus one armed timer set
@@ -101,30 +97,19 @@ void Simulator::call_after(SimTime delay, std::function<void()> action) {
   call_at(now_ + delay, std::move(action));
 }
 
-void Simulator::arm_timer(wsn::NodeId node, int timer_id, SimTime delay) {
-  if (timer_id < 0) {
-    throw std::invalid_argument("Process::set_timer: negative timer id");
+void Simulator::grow_timer_table(int timer_id) {
+  const std::size_t new_stride =
+      std::bit_ceil(static_cast<std::size_t>(timer_id) + 1);
+  const std::size_t nodes = timer_generations_.size() / timer_stride_;
+  std::vector<std::uint64_t> wider(nodes * new_stride, 0);
+  for (std::size_t node = 0; node < nodes; ++node) {
+    for (std::size_t id = 0; id < timer_stride_; ++id) {
+      wider[node * new_stride + id] =
+          timer_generations_[node * timer_stride_ + id];
+    }
   }
-  if (delay > 0 && now_ > std::numeric_limits<SimTime>::max() - delay) {
-    throw std::overflow_error("Process::set_timer: expiry overflows SimTime");
-  }
-  auto& generations = timer_generations_[static_cast<std::size_t>(node)];
-  if (static_cast<std::size_t>(timer_id) >= generations.size()) {
-    generations.resize(static_cast<std::size_t>(timer_id) + 1, 0);
-  }
-  const std::uint64_t generation =
-      ++generations[static_cast<std::size_t>(timer_id)];
-  queue_.push_timer(now_ + delay, node, timer_id, generation);
-}
-
-void Simulator::disarm_timer(wsn::NodeId node, int timer_id) noexcept {
-  auto& generations = timer_generations_[static_cast<std::size_t>(node)];
-  if (timer_id >= 0 && static_cast<std::size_t>(timer_id) < generations.size()) {
-    // Bumping the generation invalidates any pending expiry. A timer id
-    // past the table's end was never armed: nothing to invalidate, and
-    // deliberately nothing inserted either.
-    ++generations[static_cast<std::size_t>(timer_id)];
-  }
+  timer_generations_ = std::move(wider);
+  timer_stride_ = new_stride;
 }
 
 void Simulator::set_propagation_delay(SimTime delay) {
@@ -177,6 +162,41 @@ Simulator::sends_by_type() const {
   return sends_by_type_;
 }
 
+std::uint64_t Simulator::sent_of(const char* name) const noexcept {
+  std::uint64_t total = 0;
+  for (const SendCounter& entry : send_counters_) {
+    // Pointer identity first (the common case: one static kName per
+    // class), text compare as the fallback for duplicated name strings.
+    if (entry.name == name || std::strcmp(entry.name, name) == 0) {
+      total += entry.count;
+    }
+  }
+  return total;
+}
+
+void Simulator::reset_run(std::uint64_t seed) {
+  queue_.reset_run();
+  rng_.reseed(seed);
+  now_ = 0;
+  started_ = false;
+  stopped_ = false;
+  events_executed_ = 0;
+  deliveries_executed_ = 0;
+  timers_fired_ = 0;
+  total_sent_ = 0;
+  std::fill(traffic_.begin(), traffic_.end(), TrafficCounters{});
+  std::fill(timer_generations_.begin(), timer_generations_.end(), 0);
+  send_counters_.clear();
+  sends_by_type_.clear();
+  arena_.begin_run();
+  radio_->reset_run();
+  for (auto& process : processes_) {
+    if (process) {
+      process->reset_run();
+    }
+  }
+}
+
 void Simulator::do_broadcast(wsn::NodeId from, MessagePtr message) {
   auto& counters = traffic_[static_cast<std::size_t>(from)];
   ++counters.sent;
@@ -196,7 +216,7 @@ void Simulator::do_broadcast(wsn::NodeId from, MessagePtr message) {
   const SimTime arrival = now_ + propagation_delay_;
   std::uint32_t slot = EventQueue::kNoSlot;
   for (wsn::NodeId to : graph_.neighbors(from)) {
-    if (!radio_->delivered(from, to, now_, rng_)) {
+    if (!radio_delivered(from, to, now_)) {
       continue;
     }
     if (slot == EventQueue::kNoSlot) {
@@ -232,14 +252,15 @@ bool Simulator::step(SimTime end) {
       break;
     }
     case EventKind::kTimer: {
-      const auto& generations =
-          timer_generations_[static_cast<std::size_t>(event.timer.node)];
       const auto timer_id = static_cast<std::size_t>(event.timer.timer_id);
       // A stale generation means the timer was re-armed or cancelled after
       // this expiry was pushed: skip it. It still counts as an executed
-      // event (exactly as the old closure-based no-op expiry did).
-      if (timer_id < generations.size() &&
-          generations[timer_id] == event.timer.generation) {
+      // event (exactly as the old closure-based no-op expiry did). An
+      // armed timer's id is always < timer_stride_ (arm_timer grows the
+      // table first), so the indexed load needs no bounds check.
+      if (timer_generations_[static_cast<std::size_t>(event.timer.node) *
+                                 timer_stride_ +
+                             timer_id] == event.timer.generation) {
         ++timers_fired_;
         processes_[static_cast<std::size_t>(event.timer.node)]->on_timer(
             event.timer.timer_id);

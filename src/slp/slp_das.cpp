@@ -9,8 +9,10 @@ namespace slpdas::slp {
 using das::ChangeMessage;
 using das::SearchMessage;
 
-SlpDas::SlpDas(const SlpConfig& config, wsn::NodeId sink, wsn::NodeId source)
-    : ProtectionlessDas(config.das, sink, source), slp_(config) {
+SlpDas::SlpDas(const SlpConfig& config, wsn::NodeId sink, wsn::NodeId source,
+               sim::MessagePtr shared_hello)
+    : ProtectionlessDas(config.das, sink, source, std::move(shared_hello)),
+      slp_(config) {
   if (config.search_distance < 1) {
     throw std::invalid_argument("SlpConfig: search_distance must be >= 1");
   }
@@ -23,6 +25,16 @@ SlpDas::SlpDas(const SlpConfig& config, wsn::NodeId sink, wsn::NodeId source)
         "SlpConfig: search must start after discovery and before the data "
         "phase");
   }
+}
+
+void SlpDas::reset_run() {
+  ProtectionlessDas::reset_run();
+  from_.clear();
+  became_start_node_ = false;
+  refinement_started_ = false;
+  on_decoy_path_ = false;
+  searches_launched_ = 0;
+  searches_forwarded_ = 0;
 }
 
 void SlpDas::on_period_start(int period_index) {

@@ -12,6 +12,9 @@
 //   * run_range slices compose: any partition of [0, runs) into ranges
 //     yields the same dense results as one range or as seed-by-seed
 //     run_one calls.
+//   * RunBatch::Fork — one Simulator replayed through reset_run — equals
+//     cold construction for every registered scenario's cells, in any
+//     seed order, including replaying a seed the fork already ran.
 #include "slpdas/core/run_batch.hpp"
 
 #include <cstdint>
@@ -136,6 +139,50 @@ TEST(RunBatchTest, RunOneMatchesRunSingleInAnyOrder) {
     for (int parity : {1, 0}) {
       for (int run = parity; run < config.runs; run += 2) {
         expect_identical(batch.run_one(seeds[run]), expected[run]);
+      }
+    }
+  }
+}
+
+TEST(RunBatchTest, ForkMatchesColdConstructionForEveryScenario) {
+  // The fork path reuses one warm Simulator across seeds via reset_run;
+  // the cold path (run_one) constructs a fresh one per seed. Any per-run
+  // state reset_run fails to rewind — a live timer generation, an arena
+  // span still holding the previous seed's values, a stale attacker
+  // position — diverges here, naming the scenario, cell and seed. Seeds
+  // run out of order and one is replayed through the already-used fork,
+  // so "warm" covers both fresh-after-reset and ran-before states.
+  ScenarioRegistry registry;
+  register_builtin_scenarios(registry);
+
+  ScenarioOptions scenario_options;
+  scenario_options.smoke = true;
+  scenario_options.runs = 3;
+
+  for (const Scenario& scenario : registry.scenarios()) {
+    SCOPED_TRACE(scenario.name);
+    const std::vector<SweepCell> cells =
+        scenario.make_cells(scenario_options);
+    ASSERT_FALSE(cells.empty());
+    const std::uint64_t base_seed = scenario.resolved_seed(scenario_options);
+
+    for (const SweepCell& cell : cells) {
+      SCOPED_TRACE(cell.label);
+      const wsn::Topology topology = cell.config.topology.build();
+      const RunBatch batch(cell.config, topology);
+
+      std::vector<std::uint64_t> seeds;
+      std::vector<RunResult> cold;
+      for (int run = 0; run < scenario_options.runs; ++run) {
+        seeds.push_back(derive_seed(base_seed, run));
+        cold.push_back(batch.run_one(seeds.back()));
+      }
+
+      RunBatch::Fork fork(batch);
+      for (const int run : {2, 0, 1, 0}) {
+        SCOPED_TRACE(run);
+        expect_identical(fork.run(seeds[static_cast<std::size_t>(run)]),
+                         cold[static_cast<std::size_t>(run)]);
       }
     }
   }

@@ -14,8 +14,11 @@
 #include <memory>
 #include <new>
 
+#include "slpdas/das/protocol.hpp"
 #include "slpdas/sim/simulator.hpp"
+#include "slpdas/slp/slp_das.hpp"
 #include "slpdas/wsn/topology.hpp"
+#include "slpdas/wsn/topology_spec.hpp"
 
 namespace {
 
@@ -190,6 +193,68 @@ TEST(EventAllocTest, ReservedQueueAbsorbsItsPendingBudgetWithoutAllocating) {
         << (backend == EventQueue::Backend::kCalendar ? "calendar" : "heap")
         << ")";
   }
+}
+
+/// The phase-prefix fork's allocation contract: the FIRST seed of a batch
+/// may allocate freely (vectors, pools and the node-state arena all grow
+/// to their high-water marks), but once reset_run rewinds everything in
+/// place, a subsequent seed's steady state — here, the data phase, after
+/// a couple of warm periods let this seed's payload pools and counters
+/// settle — must not allocate at all. Runs the REAL protocols (DAS and
+/// the SLP extension) under the production noise model, not the ping
+/// fixture, so any per-seed allocation sneaking into a protocol handler,
+/// the pooled-message path or the queue/arena reset fails here.
+/// Phantom routing is deliberately not covered: its std::set/map-based
+/// bookkeeping allocates per insert by design (it is not on the paper's
+/// hot sweep path).
+template <typename ProcessFactory>
+void run_second_seed_window(ProcessFactory make_process) {
+  const wsn::Topology grid = wsn::TopologySpec::grid(5).build();
+  const das::DasConfig das_config{};
+  const SimTime period = das_config.period();
+  const SimTime data_start = das_config.minimum_setup_periods * period;
+
+  Simulator simulator(grid.graph, std::make_unique<CasinoLabNoise>(), 1);
+  for (wsn::NodeId n = 0; n < grid.graph.node_count(); ++n) {
+    simulator.add_process(n, make_process(grid));
+  }
+  // Seed 1 end-to-end: establishes every high-water mark.
+  simulator.run_until(data_start + 10 * period);
+
+  // Seed 2: setup plus two warm data-phase periods may still allocate
+  // (this seed's first pooled sends, counter re-interning); the measured
+  // window after that must be allocation-free.
+  simulator.reset_run(2);
+  simulator.run_until(data_start + 2 * period);
+
+  const std::uint64_t events_before = simulator.events_executed();
+  const std::uint64_t allocations_before =
+      g_allocations.load(std::memory_order_relaxed);
+  simulator.run_until(data_start + 8 * period);
+  const std::uint64_t events_executed =
+      simulator.events_executed() - events_before;
+  const std::uint64_t allocations =
+      g_allocations.load(std::memory_order_relaxed) - allocations_before;
+  // ~145 events per data-phase period on the side-5 grid (one NORMAL per
+  // node plus deliveries and slot timers); six periods measured.
+  EXPECT_GT(events_executed, 600u);
+  EXPECT_EQ(allocations, 0u)
+      << "the second seed of a forked batch allocated " << allocations
+      << " times across " << events_executed << " data-phase events";
+}
+
+TEST(EventAllocTest, SecondSeedOfForkedDasBatchAllocatesNothing) {
+  run_second_seed_window([](const wsn::Topology& topology) {
+    return std::make_unique<das::ProtectionlessDas>(
+        das::DasConfig{}, topology.sink, topology.source);
+  });
+}
+
+TEST(EventAllocTest, SecondSeedOfForkedSlpBatchAllocatesNothing) {
+  run_second_seed_window([](const wsn::Topology& topology) {
+    return std::make_unique<slp::SlpDas>(slp::SlpConfig{}, topology.sink,
+                                         topology.source);
+  });
 }
 
 }  // namespace

@@ -62,6 +62,38 @@ TEST(LintFixtureTest, BareCatchFiresUnlessJustified) {
   EXPECT_EQ(count_rule(findings, "bare-catch"), 2) << format_text(findings);
 }
 
+TEST(LintFixtureTest, PrefixMutationFiresOutsideTheCapturePath) {
+  const auto findings = lint_fixture("violation_prefix_mutation.cpp");
+  // Assignment, compound assignment, .reset(), pre/post increment and a
+  // decrement fire; every read and the tagged mutation stay silent.
+  EXPECT_EQ(count_rule(findings, "prefix-mutation"), 6)
+      << format_text(findings);
+}
+
+TEST(LintRuleTest, PrefixMutationIgnoredInsideCapturePath) {
+  // The capture path (phase_prefix.cpp) is the one legitimate writer.
+  const auto findings = lint_source(
+      "src/core/phase_prefix.cpp",
+      "void capture() {\n"
+      "  PhasePrefix prefix;\n"
+      "  prefix.activation = 5;\n"
+      "  prefix.das_hello = make();\n"
+      "}\n");
+  EXPECT_TRUE(findings.empty()) << format_text(findings);
+}
+
+TEST(LintRuleTest, PrefixReadsAndAccessorCallsDoNotFire) {
+  const auto findings = lint_source(
+      "src/core/run_batch.cpp",
+      "void f(const PhasePrefix& prefix_) {\n"
+      "  simulator.run_until(prefix_.activation);\n"
+      "  const bool captured = t <= prefix_.safety_end;\n"
+      "  auto frame = batch.prefix().das.frame;\n"
+      "  use(prefix_.das.period(), prefix_.safety.duration(prefix_.das));\n"
+      "}\n");
+  EXPECT_TRUE(findings.empty()) << format_text(findings);
+}
+
 TEST(LintRuleTest, TypedCatchDoesNotFire) {
   const auto findings = lint_source(
       "a.cpp", "void f() { try { g(); } catch (const std::exception& e) {} }");

@@ -6,6 +6,7 @@
 // a dense interleaving to chew on — CI runs it in the TSan leg alongside
 // sweep/batch/shard-merge/cell-cache tests with threads >= 4.
 #include <atomic>
+#include <cstdint>
 #include <filesystem>
 #include <sstream>
 #include <string>
@@ -15,8 +16,10 @@
 #include <gtest/gtest.h>
 
 #include "slpdas/core/cell_cache.hpp"
+#include "slpdas/core/run_batch.hpp"
 #include "slpdas/core/sweep.hpp"
 #include "slpdas/core/thread_pool.hpp"
+#include "slpdas/rng.hpp"
 #include "test_util.hpp"
 
 namespace slpdas::core {
@@ -104,6 +107,68 @@ TEST(TsanStressTest, ConcurrentCompletionStreamingAndCacheStores) {
   EXPECT_EQ(cell_records(warm), cell_records(narrow));
   EXPECT_EQ(cache.stats().hits, cells.size());
   std::filesystem::remove_all(dir);
+}
+
+TEST(TsanStressTest, ConcurrentForksShareOnePhasePrefix) {
+  // 8 threads each build a RunBatch::Fork over ONE shared batch and run
+  // interleaved seeds concurrently. The contended state is the read-only
+  // phase prefix — derived protocol configs, the safety BFS, and the
+  // shared immutable HELLO payloads whose shared_ptr refcounts every
+  // fork's processes bump at once. Forks themselves are thread-local by
+  // contract; a write leaking through the shared prefix is a race for
+  // TSan and a value divergence against the cold single-threaded
+  // reference for this test's exact-equality check.
+  ExperimentConfig config = tiny_base();
+  config.protocol = ProtocolKind::kSlpDas;
+  const wsn::Topology topology = config.topology.build();
+  const RunBatch batch(config, topology);
+
+  constexpr int kThreads = 8;
+  constexpr int kSeedsPerThread = 3;
+  constexpr int kSeeds = kThreads * kSeedsPerThread;
+  constexpr std::uint64_t kBaseSeed = 7;
+
+  std::vector<RunResult> cold;
+  for (int i = 0; i < kSeeds; ++i) {
+    cold.push_back(batch.run_one(derive_seed(kBaseSeed, i)));
+  }
+
+  std::vector<RunResult> forked(kSeeds);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&batch, &forked, t] {
+        RunBatch::Fork fork(batch);
+        // Strided seeds: every thread's fork replays seeds from all over
+        // the cell's range, like the sweep slicing a cell across workers.
+        for (int i = t; i < kSeeds; i += kThreads) {
+          forked[static_cast<std::size_t>(i)] =
+              fork.run(derive_seed(kBaseSeed, i));
+        }
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  }
+
+  for (int i = 0; i < kSeeds; ++i) {
+    SCOPED_TRACE(i);
+    const RunResult& a = forked[static_cast<std::size_t>(i)];
+    const RunResult& b = cold[static_cast<std::size_t>(i)];
+    EXPECT_EQ(a.captured, b.captured);
+    ASSERT_EQ(a.capture_time_s.has_value(), b.capture_time_s.has_value());
+    if (a.capture_time_s) {
+      EXPECT_EQ(*a.capture_time_s, *b.capture_time_s);
+    }
+    EXPECT_EQ(a.safety_periods, b.safety_periods);
+    EXPECT_EQ(a.schedule_complete, b.schedule_complete);
+    EXPECT_EQ(a.delivery_ratio, b.delivery_ratio);
+    EXPECT_EQ(a.delivery_latency_s, b.delivery_latency_s);
+    EXPECT_EQ(a.control_messages_per_node, b.control_messages_per_node);
+    EXPECT_EQ(a.normal_messages_per_node, b.normal_messages_per_node);
+    EXPECT_EQ(a.attacker_moves, b.attacker_moves);
+  }
 }
 
 TEST(TsanStressTest, ThreadPoolHandlesSubmissionBursts) {

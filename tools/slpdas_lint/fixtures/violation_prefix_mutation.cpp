@@ -1,0 +1,24 @@
+// Deliberate prefix-mutation violations for the lint self-test. Never
+// compiled — lint_test asserts the rule fires on exactly the mutation
+// lines and stays quiet on the reads and the tagged site.
+#include "slpdas/core/phase_prefix.hpp"
+
+void mutate_everything(slpdas::core::PhasePrefix& prefix,
+                       slpdas::core::PhasePrefix* prefix_) {
+  prefix.activation = 5;                  // FIRES: assignment
+  prefix_->safety_end += 10;              // FIRES: compound assignment
+  prefix.das_hello.reset();               // FIRES: mutating call
+  ++prefix.run_end;                       // FIRES: pre-increment
+  prefix.run_end++;                       // FIRES: post-increment
+  prefix_->das.minimum_setup_periods--;   // FIRES: decrement
+
+  // Reads must stay silent, including comparisons and right-hand sides.
+  const auto activation = prefix.activation;
+  if (prefix.safety_end <= activation + prefix_->run_end) {
+    (void)prefix.das.period();
+  }
+  (void)prefix_->is_phantom;
+
+  // A justified tag silences the finding (the reason is mandatory).
+  prefix.run_end = 0;  // slpdas-lint: allow(prefix-mutation): fixture demo
+}

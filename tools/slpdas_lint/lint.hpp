@@ -22,6 +22,13 @@
 //   * bare-catch      — no `catch (...)`. Swallowing unknown exceptions
 //                       hides the failing cell; worker-boundary
 //                       fallbacks must justify themselves with a tag.
+//   * prefix-mutation — no write through a `prefix` / `prefix_`
+//                       expression (assignment, ++/--, or a mutating
+//                       member call) outside core::PhasePrefix's capture
+//                       path (phase_prefix.cpp/.hpp). The prefix is the
+//                       immutable per-cell snapshot all forked seeds
+//                       share; mutating it from run code would leak one
+//                       seed's state into the next.
 //
 // A finding is silenced by a justification tag on the same line or the
 // line directly above:
